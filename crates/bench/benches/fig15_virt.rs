@@ -1,0 +1,44 @@
+//! Figure 15 — virtualized page-walk and application speedups of FPT /
+//! ECPT / Agile / ASAP / DMT / pvDMT over vanilla KVM, 4 KiB and THP.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dmt_bench::{bench_scale, print_geomeans};
+use dmt_sim::experiments::fig15;
+use dmt_sim::engine::run;
+use dmt_sim::virt_rig::VirtRig;
+use dmt_sim::rig::{Design, Rig};
+use dmt_cache::hierarchy::MemoryHierarchy;
+use dmt_workloads::bench7::Redis;
+use dmt_workloads::gen::Workload;
+
+fn bench(c: &mut Criterion) {
+    let fig = fig15(bench_scale()).unwrap();
+    print_geomeans(
+        &fig,
+        &[Design::Fpt, Design::Ecpt, Design::Agile, Design::Asap, Design::Dmt, Design::PvDmt],
+    );
+    let w = Redis {
+        records: 1 << 18,
+        ..Redis::default()
+    };
+    let trace = w.trace(6_000, 3);
+    let mut group = c.benchmark_group("virt_translate_redis");
+    group.sample_size(20);
+    for design in [Design::Vanilla, Design::Agile, Design::Asap, Design::Dmt, Design::PvDmt] {
+        let mut rig = VirtRig::new(design, false, &w, &trace).unwrap();
+        run(&mut rig, &trace, 0);
+        let mut hier = MemoryHierarchy::default();
+        let mut i = 0usize;
+        group.bench_function(design.name(), |b| {
+            b.iter(|| {
+                let a = &trace[i % trace.len()];
+                i += 7;
+                std::hint::black_box(rig.translate(a.va, &mut hier))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

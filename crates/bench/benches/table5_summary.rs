@@ -1,0 +1,41 @@
+//! Table 5 — geomean page-walk speedups of DMT/pvDMT over the other
+//! designs, derived from the Figure 14 and 15 runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dmt_bench::bench_scale;
+use dmt_sim::experiments::{fig14, fig15, table5};
+use dmt_sim::rig::Design;
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    let f14 = fig14(scale).unwrap();
+    let f15 = fig15(scale).unwrap();
+    println!("\nTable 5 — DMT/pvDMT page-walk speedup over other designs");
+    println!("{:<18} {:>7} {:>7} {:>7} {:>7}", "setting", "FPT", "ECPT", "Agile", "ASAP");
+    for row in table5(&f14, &f15) {
+        let get = |d: Design| {
+            row.over
+                .iter()
+                .find(|(dd, _)| *dd == d)
+                .map(|(_, s)| format!("{s:.2}x"))
+                .unwrap_or_else(|| "N/A".into())
+        };
+        println!(
+            "{:<18} {:>7} {:>7} {:>7} {:>7}",
+            row.setting,
+            get(Design::Fpt),
+            get(Design::Ecpt),
+            get(Design::Agile),
+            get(Design::Asap)
+        );
+    }
+    println!();
+    // A token timing so criterion has something to chew on: the geomean
+    // derivation itself.
+    c.bench_function("table5_derive", |b| {
+        b.iter(|| std::hint::black_box(table5(&f14, &f15)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,326 @@
+//! The data-cache hierarchy and DRAM latency model (Table 3 of the paper).
+//!
+//! Every memory reference in the simulation — data accesses and PTE fetches
+//! alike — goes through [`MemoryHierarchy::access`]. That shared path is
+//! what makes last-level PTEs "hard to cache" for big-footprint workloads:
+//! data lines and PTE lines contend for the same L2/LLC capacity, exactly
+//! as in the paper's DynamoRIO-based model.
+
+use crate::set_assoc::SetAssoc;
+
+/// Log2 of the cache-line size (64 B).
+pub const LINE_SHIFT: u32 = 6;
+
+/// Which level of the hierarchy served an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum HitLevel {
+    /// L1 data cache.
+    L1,
+    /// Unified L2.
+    L2,
+    /// Shared last-level cache.
+    Llc,
+    /// Main memory.
+    Dram,
+}
+
+/// Geometry and round-trip latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelConfig {
+    /// Total capacity in bytes.
+    pub bytes: u64,
+    /// Associativity.
+    pub ways: usize,
+    /// Round-trip latency in cycles when the access hits at this level.
+    pub latency: u64,
+}
+
+/// Configuration of the full hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// L1 data cache.
+    pub l1: LevelConfig,
+    /// Unified L2 cache.
+    pub l2: LevelConfig,
+    /// Shared last-level cache.
+    pub llc: LevelConfig,
+    /// Main-memory round-trip latency in cycles.
+    pub dram_latency: u64,
+}
+
+impl HierarchyConfig {
+    /// Table 3's simulated configuration (per-core slice of an Intel Xeon
+    /// Gold 6138): 32 KiB 8-way L1D (4 cycles), 1 MiB 16-way L2 (14
+    /// cycles), 22 MiB 11-way LLC (54 cycles), 200-cycle DRAM.
+    pub fn xeon_gold_6138() -> Self {
+        HierarchyConfig {
+            l1: LevelConfig {
+                bytes: 32 << 10,
+                ways: 8,
+                latency: 4,
+            },
+            l2: LevelConfig {
+                bytes: 1 << 20,
+                ways: 16,
+                latency: 14,
+            },
+            llc: LevelConfig {
+                bytes: 22 << 20,
+                ways: 11,
+                latency: 54,
+            },
+            dram_latency: 200,
+        }
+    }
+
+    /// A tiny hierarchy for fast unit tests.
+    pub fn tiny() -> Self {
+        HierarchyConfig {
+            l1: LevelConfig {
+                bytes: 1 << 10,
+                ways: 2,
+                latency: 4,
+            },
+            l2: LevelConfig {
+                bytes: 4 << 10,
+                ways: 4,
+                latency: 14,
+            },
+            llc: LevelConfig {
+                bytes: 16 << 10,
+                ways: 4,
+                latency: 54,
+            },
+            dram_latency: 200,
+        }
+    }
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        Self::xeon_gold_6138()
+    }
+}
+
+/// Per-level hit counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HierarchyStats {
+    /// Hits in the L1 data cache.
+    pub l1_hits: u64,
+    /// Hits in the L2 cache.
+    pub l2_hits: u64,
+    /// Hits in the last-level cache.
+    pub llc_hits: u64,
+    /// Accesses served by DRAM.
+    pub dram_accesses: u64,
+}
+
+impl HierarchyStats {
+    /// Total number of accesses.
+    pub fn total(&self) -> u64 {
+        self.l1_hits + self.l2_hits + self.llc_hits + self.dram_accesses
+    }
+}
+
+/// Inclusive three-level cache hierarchy plus DRAM.
+#[derive(Debug, Clone)]
+pub struct MemoryHierarchy {
+    l1: SetAssoc,
+    l2: SetAssoc,
+    llc: SetAssoc,
+    config: HierarchyConfig,
+    stats: HierarchyStats,
+}
+
+impl MemoryHierarchy {
+    /// Build the hierarchy from a configuration.
+    pub fn new(config: HierarchyConfig) -> Self {
+        let geometry = |c: LevelConfig| {
+            let lines = c.bytes >> LINE_SHIFT;
+            SetAssoc::with_capacity(lines - lines % c.ways as u64, c.ways)
+        };
+        MemoryHierarchy {
+            l1: geometry(config.l1),
+            l2: geometry(config.l2),
+            llc: geometry(config.llc),
+            config,
+            stats: HierarchyStats::default(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.config
+    }
+
+    /// Access the cache line containing `paddr`; returns `(level, cycles)`.
+    ///
+    /// Misses fill all upper levels (inclusive hierarchy).
+    pub fn access(&mut self, paddr: u64) -> (HitLevel, u64) {
+        let line = paddr >> LINE_SHIFT;
+        if self.l1.lookup(line) {
+            self.stats.l1_hits += 1;
+            return (HitLevel::L1, self.config.l1.latency);
+        }
+        if self.l2.lookup(line) {
+            self.l1.insert(line);
+            self.stats.l2_hits += 1;
+            return (HitLevel::L2, self.config.l2.latency);
+        }
+        if self.llc.lookup(line) {
+            self.l2.insert(line);
+            self.l1.insert(line);
+            self.stats.llc_hits += 1;
+            return (HitLevel::Llc, self.config.llc.latency);
+        }
+        self.llc.insert(line);
+        self.l2.insert(line);
+        self.l1.insert(line);
+        self.stats.dram_accesses += 1;
+        (HitLevel::Dram, self.config.dram_latency)
+    }
+
+    /// Latency-only convenience wrapper around [`access`](Self::access).
+    pub fn access_cycles(&mut self, paddr: u64) -> u64 {
+        self.access(paddr).1
+    }
+
+    /// Install the line containing `paddr` into L2 (and LLC) without
+    /// charging latency — the ASAP prefetcher's injection path.
+    pub fn prefetch_into_l2(&mut self, paddr: u64) {
+        let line = paddr >> LINE_SHIFT;
+        self.llc.insert(line);
+        self.l2.insert(line);
+    }
+
+    /// Whether the line containing `paddr` currently resides at or above
+    /// the given level (probe only; no state change).
+    pub fn resident_at(&self, paddr: u64, level: HitLevel) -> bool {
+        let line = paddr >> LINE_SHIFT;
+        match level {
+            HitLevel::L1 => self.l1.contains(line),
+            HitLevel::L2 => self.l1.contains(line) || self.l2.contains(line),
+            HitLevel::Llc => {
+                self.l1.contains(line) || self.l2.contains(line) || self.llc.contains(line)
+            }
+            HitLevel::Dram => true,
+        }
+    }
+
+    /// Per-level hit counters.
+    pub fn stats(&self) -> HierarchyStats {
+        self.stats
+    }
+
+    /// Reset counters (contents are kept, useful after warmup).
+    pub fn reset_stats(&mut self) {
+        self.stats = HierarchyStats::default();
+        self.l1.reset_stats();
+        self.l2.reset_stats();
+        self.llc.reset_stats();
+    }
+
+    /// Drop all cached lines and reset counters.
+    pub fn flush(&mut self) {
+        self.l1.flush();
+        self.l2.flush();
+        self.llc.flush();
+        self.reset_stats();
+    }
+}
+
+impl Default for MemoryHierarchy {
+    fn default() -> Self {
+        Self::new(HierarchyConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_touch_goes_to_dram_then_hits_l1() {
+        let mut h = MemoryHierarchy::new(HierarchyConfig::tiny());
+        let (lvl, cyc) = h.access(0x1000);
+        assert_eq!(lvl, HitLevel::Dram);
+        assert_eq!(cyc, 200);
+        let (lvl, cyc) = h.access(0x1008); // same line
+        assert_eq!(lvl, HitLevel::L1);
+        assert_eq!(cyc, 4);
+    }
+
+    #[test]
+    fn evicted_from_l1_hits_l2() {
+        let cfg = HierarchyConfig::tiny(); // L1: 16 lines, 2-way, 8 sets
+        let mut h = MemoryHierarchy::new(cfg);
+        h.access(0);
+        // Fill the set of line 0 (set = line % 8) with other lines.
+        h.access(8 << LINE_SHIFT);
+        h.access(16 << LINE_SHIFT);
+        // Line 0 evicted from L1 but still in L2.
+        let (lvl, cyc) = h.access(0);
+        assert_eq!(lvl, HitLevel::L2);
+        assert_eq!(cyc, 14);
+    }
+
+    #[test]
+    fn prefetch_into_l2_is_visible() {
+        let mut h = MemoryHierarchy::new(HierarchyConfig::tiny());
+        h.prefetch_into_l2(0x4000);
+        let (lvl, _) = h.access(0x4000);
+        assert_eq!(lvl, HitLevel::L2);
+        assert!(h.resident_at(0x4000, HitLevel::L1));
+    }
+
+    #[test]
+    fn xeon_geometry_matches_table3() {
+        let h = MemoryHierarchy::default();
+        assert_eq!(h.config().l1.latency, 4);
+        assert_eq!(h.config().l2.latency, 14);
+        assert_eq!(h.config().llc.latency, 54);
+        assert_eq!(h.config().dram_latency, 200);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut h = MemoryHierarchy::new(HierarchyConfig::tiny());
+        h.access(0);
+        h.access(0);
+        h.access(64);
+        let s = h.stats();
+        assert_eq!(s.dram_accesses, 2);
+        assert_eq!(s.l1_hits, 1);
+        assert_eq!(s.total(), 3);
+        let mut h2 = h.clone();
+        h2.reset_stats();
+        assert_eq!(h2.stats().total(), 0);
+    }
+
+    #[test]
+    fn flush_forgets_everything() {
+        let mut h = MemoryHierarchy::new(HierarchyConfig::tiny());
+        h.access(0);
+        h.flush();
+        let (lvl, _) = h.access(0);
+        assert_eq!(lvl, HitLevel::Dram);
+    }
+
+    #[test]
+    fn working_set_larger_than_llc_thrashes() {
+        let mut h = MemoryHierarchy::new(HierarchyConfig::tiny()); // LLC 16 KiB
+        // Stream 64 KiB twice: second pass still misses everywhere.
+        for pass in 0..2 {
+            let mut dram = 0;
+            for line in 0..1024u64 {
+                let (lvl, _) = h.access(line << LINE_SHIFT);
+                if lvl == HitLevel::Dram {
+                    dram += 1;
+                }
+            }
+            if pass == 1 {
+                assert_eq!(dram, 1024, "LRU streaming working set must thrash");
+            }
+        }
+    }
+}

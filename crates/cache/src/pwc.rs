@@ -1,0 +1,245 @@
+//! Page-walk caches (PWC) and the nested PWC (Table 3).
+//!
+//! A PWC caches upper-level page-table entries so a radix walk can skip
+//! straight to the deepest cached level instead of starting at the root.
+//! Table 3's configuration is three per-level arrays of 2, 4 and 32
+//! entries for the L4, L3 and L2 entries respectively, with a 1-cycle
+//! round trip. The nested PWC is a second instance indexed by guest
+//! physical addresses, caching host page-table entries during 2D walks.
+//!
+//! Last-level (L1) entries are never cached here — a cached leaf would be
+//! a TLB entry, not a PWC entry.
+
+use crate::set_assoc::SetAssoc;
+use dmt_mem::addr::{LEVEL_BITS, PAGE_SHIFT};
+use dmt_mem::{PhysAddr, VirtAddr};
+use std::collections::HashMap;
+
+/// PWC geometry: entries for the L4, L3 and L2 arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PwcConfig {
+    /// Entries caching L4 (root-level) PTEs.
+    pub l4_entries: u64,
+    /// Entries caching L3 PTEs.
+    pub l3_entries: u64,
+    /// Entries caching L2 PTEs.
+    pub l2_entries: u64,
+    /// Round-trip lookup latency in cycles.
+    pub latency: u64,
+}
+
+impl PwcConfig {
+    /// Table 3's configuration: 2-4-32 entries, 1-cycle round trip.
+    pub fn xeon_gold_6138() -> Self {
+        PwcConfig {
+            l4_entries: 2,
+            l3_entries: 4,
+            l2_entries: 32,
+            latency: 1,
+        }
+    }
+}
+
+impl Default for PwcConfig {
+    fn default() -> Self {
+        Self::xeon_gold_6138()
+    }
+}
+
+/// PWC hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PwcStats {
+    /// Walks that skipped levels thanks to a PWC hit.
+    pub hits: u64,
+    /// Walks that found nothing cached.
+    pub misses: u64,
+}
+
+/// A page-walk cache over one radix page table.
+///
+/// Keys are virtual-address prefixes; payloads are the physical base
+/// address of the *next*-level table, which is what the walker needs to
+/// resume from the level below the cached entry.
+#[derive(Debug, Clone)]
+pub struct PageWalkCache {
+    /// Index 0 → level 2 array, 1 → level 3, 2 → level 4.
+    arrays: [SetAssoc; 3],
+    payloads: [HashMap<u64, PhysAddr>; 3],
+    latency: u64,
+    stats: PwcStats,
+}
+
+impl PageWalkCache {
+    /// Build a PWC from a configuration.
+    pub fn new(config: PwcConfig) -> Self {
+        // Small structures are fully associative.
+        let arr = |entries: u64| SetAssoc::new(1, entries as usize);
+        PageWalkCache {
+            arrays: [
+                arr(config.l2_entries),
+                arr(config.l3_entries),
+                arr(config.l4_entries),
+            ],
+            payloads: [HashMap::new(), HashMap::new(), HashMap::new()],
+            latency: config.latency,
+            stats: PwcStats::default(),
+        }
+    }
+
+    /// Lookup round-trip latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    #[inline]
+    fn key(va: VirtAddr, level: u8) -> u64 {
+        va.raw() >> (PAGE_SHIFT + LEVEL_BITS * (level as u32 - 1))
+    }
+
+    #[inline]
+    fn slot(level: u8) -> usize {
+        debug_assert!((2..=4).contains(&level));
+        level as usize - 2
+    }
+
+    /// Find the deepest cached entry covering `va`.
+    ///
+    /// A hit at level `l` returns `(l, base)` where `base` is the physical
+    /// base of the level-`l-1` table: the walk resumes by indexing that
+    /// table. Checks level 2 first (deepest skip), then 3, then 4.
+    pub fn lookup_deepest(&mut self, va: VirtAddr) -> Option<(u8, PhysAddr)> {
+        for level in 2..=4u8 {
+            let s = Self::slot(level);
+            let key = Self::key(va, level);
+            if self.arrays[s].lookup(key) {
+                let base = self.payloads[s][&key];
+                self.stats.hits += 1;
+                return Some((level, base));
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Install the entry for `va` at `level`, whose content points to the
+    /// next-level table at `next_table`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is not 2, 3 or 4.
+    pub fn fill(&mut self, va: VirtAddr, level: u8, next_table: PhysAddr) {
+        assert!(
+            (2..=4).contains(&level),
+            "PWC caches levels 2..=4, got {level}"
+        );
+        let s = Self::slot(level);
+        let key = Self::key(va, level);
+        if let Some(evicted) = self.arrays[s].insert(key) {
+            self.payloads[s].remove(&evicted);
+        }
+        self.payloads[s].insert(key, next_table);
+    }
+
+    /// Drop all cached entries (e.g. on CR3 switch).
+    pub fn flush(&mut self) {
+        for a in &mut self.arrays {
+            a.flush();
+        }
+        for p in &mut self.payloads {
+            p.clear();
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> PwcStats {
+        self.stats
+    }
+
+    /// Reset counters (contents kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = PwcStats::default();
+    }
+}
+
+impl Default for PageWalkCache {
+    fn default() -> Self {
+        Self::new(PwcConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const L3_SPAN: u64 = 1 << 30; // bytes mapped by one L3 entry
+    const L2_SPAN: u64 = 2 << 20;
+
+    #[test]
+    fn empty_pwc_misses() {
+        let mut pwc = PageWalkCache::default();
+        assert_eq!(pwc.lookup_deepest(VirtAddr(0x1234_5000)), None);
+        assert_eq!(pwc.stats().misses, 1);
+    }
+
+    #[test]
+    fn deepest_level_wins() {
+        let mut pwc = PageWalkCache::default();
+        let va = VirtAddr(0x40_0000_0000);
+        pwc.fill(va, 4, PhysAddr(0x1000));
+        pwc.fill(va, 3, PhysAddr(0x2000));
+        pwc.fill(va, 2, PhysAddr(0x3000));
+        // The L2-entry hit provides the L1 table base directly.
+        assert_eq!(pwc.lookup_deepest(va), Some((2, PhysAddr(0x3000))));
+    }
+
+    #[test]
+    fn falls_back_to_shallower_levels() {
+        let mut pwc = PageWalkCache::default();
+        let va = VirtAddr(0x40_0000_0000);
+        pwc.fill(va, 3, PhysAddr(0x2000));
+        // A different 2 MiB region under the same L3 entry still hits L3.
+        let sibling = VirtAddr(va.raw() + L2_SPAN);
+        assert_eq!(pwc.lookup_deepest(sibling), Some((3, PhysAddr(0x2000))));
+        // A different 1 GiB region misses entirely.
+        let cousin = VirtAddr(va.raw() + L3_SPAN);
+        assert_eq!(pwc.lookup_deepest(cousin), None);
+    }
+
+    #[test]
+    fn capacity_evicts_lru_and_payload() {
+        let mut pwc = PageWalkCache::new(PwcConfig {
+            l4_entries: 2,
+            l3_entries: 2,
+            l2_entries: 2,
+            latency: 1,
+        });
+        for i in 0..3u64 {
+            pwc.fill(VirtAddr(i * L2_SPAN), 2, PhysAddr(i * 0x1000));
+        }
+        // Entry 0 evicted; 1 and 2 remain with the right payloads.
+        assert_eq!(pwc.lookup_deepest(VirtAddr(0)), None);
+        assert_eq!(
+            pwc.lookup_deepest(VirtAddr(L2_SPAN)),
+            Some((2, PhysAddr(0x1000)))
+        );
+        assert_eq!(
+            pwc.lookup_deepest(VirtAddr(2 * L2_SPAN)),
+            Some((2, PhysAddr(0x2000)))
+        );
+    }
+
+    #[test]
+    fn flush_empties_cache() {
+        let mut pwc = PageWalkCache::default();
+        pwc.fill(VirtAddr(0), 2, PhysAddr(0x1000));
+        pwc.flush();
+        assert_eq!(pwc.lookup_deepest(VirtAddr(0)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "PWC caches levels")]
+    fn filling_leaf_level_panics() {
+        let mut pwc = PageWalkCache::default();
+        pwc.fill(VirtAddr(0), 1, PhysAddr(0));
+    }
+}

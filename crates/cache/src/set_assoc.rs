@@ -1,0 +1,261 @@
+//! A generic set-associative array with true-LRU replacement.
+//!
+//! Every hardware structure in the simulated memory system — data caches,
+//! TLBs, the page-walk caches — is an instance of [`SetAssoc`] keyed by an
+//! appropriate `u64` (cache-line address, VPN, VA prefix).
+
+/// A set-associative, true-LRU array of `u64` keys.
+///
+/// # Examples
+///
+/// ```
+/// use dmt_cache::set_assoc::SetAssoc;
+/// let mut c = SetAssoc::new(2, 2); // 2 sets x 2 ways
+/// assert!(!c.lookup(0));
+/// c.insert(0);
+/// assert!(c.lookup(0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssoc {
+    sets: u64,
+    ways: usize,
+    /// `(key, last-use stamp)` per way, per set. Empty ways hold `None`.
+    lines: Vec<Vec<Option<(u64, u64)>>>,
+    stamp: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl SetAssoc {
+    /// Create an array with `sets` sets of `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `ways` is zero.
+    pub fn new(sets: u64, ways: usize) -> Self {
+        assert!(sets > 0 && ways > 0, "cache geometry must be non-zero");
+        SetAssoc {
+            sets,
+            ways,
+            lines: vec![vec![None; ways]; sets as usize],
+            stamp: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Create an array from a total capacity and associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a multiple of `ways`.
+    pub fn with_capacity(entries: u64, ways: usize) -> Self {
+        assert_eq!(
+            entries % ways as u64,
+            0,
+            "capacity must be a multiple of associativity"
+        );
+        Self::new(entries / ways as u64, ways)
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.sets
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Total entry capacity.
+    pub fn capacity(&self) -> u64 {
+        self.sets * self.ways as u64
+    }
+
+    /// Look up a key, updating LRU state and hit/miss counters.
+    pub fn lookup(&mut self, key: u64) -> bool {
+        self.stamp += 1;
+        let set = &mut self.lines[(key % self.sets) as usize];
+        for way in set.iter_mut().flatten() {
+            if way.0 == key {
+                way.1 = self.stamp;
+                self.hits += 1;
+                return true;
+            }
+        }
+        self.misses += 1;
+        false
+    }
+
+    /// Probe for a key without touching LRU state or counters.
+    pub fn contains(&self, key: u64) -> bool {
+        self.lines[(key % self.sets) as usize]
+            .iter()
+            .flatten()
+            .any(|w| w.0 == key)
+    }
+
+    /// Insert a key (no-op if already present; refreshes its LRU stamp).
+    /// Returns the evicted key, if any.
+    pub fn insert(&mut self, key: u64) -> Option<u64> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let set = &mut self.lines[(key % self.sets) as usize];
+        // Refresh if present.
+        for way in set.iter_mut().flatten() {
+            if way.0 == key {
+                way.1 = stamp;
+                return None;
+            }
+        }
+        // Fill an empty way.
+        if let Some(slot) = set.iter_mut().find(|w| w.is_none()) {
+            *slot = Some((key, stamp));
+            return None;
+        }
+        // Evict the least recently used way.
+        let victim_idx = set
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| w.map(|(_, s)| s).unwrap_or(0))
+            .map(|(i, _)| i)
+            .expect("ways > 0");
+        let evicted = set[victim_idx].map(|(k, _)| k);
+        set[victim_idx] = Some((key, stamp));
+        evicted
+    }
+
+    /// Remove a key if present. Returns whether it was present.
+    pub fn invalidate(&mut self, key: u64) -> bool {
+        let set = &mut self.lines[(key % self.sets) as usize];
+        for way in set.iter_mut() {
+            if way.map(|(k, _)| k) == Some(key) {
+                *way = None;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Drop every entry (e.g. a full TLB flush on context switch).
+    pub fn flush(&mut self) {
+        for set in &mut self.lines {
+            set.fill(None);
+        }
+    }
+
+    /// Hits recorded by [`lookup`](Self::lookup).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses recorded by [`lookup`](Self::lookup).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Reset hit/miss counters (state is kept).
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Number of occupied entries.
+    pub fn occupancy(&self) -> u64 {
+        self.lines
+            .iter()
+            .map(|s| s.iter().flatten().count() as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = SetAssoc::new(4, 2);
+        assert!(!c.lookup(42));
+        c.insert(42);
+        assert!(c.lookup(42));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = SetAssoc::new(1, 2);
+        c.insert(0);
+        c.insert(1);
+        assert!(c.lookup(0)); // 0 now most recent
+        let evicted = c.insert(2);
+        assert_eq!(evicted, Some(1));
+        assert!(c.contains(0));
+        assert!(!c.contains(1));
+        assert!(c.contains(2));
+    }
+
+    #[test]
+    fn keys_map_to_distinct_sets() {
+        let mut c = SetAssoc::new(2, 1);
+        c.insert(0); // set 0
+        c.insert(1); // set 1
+        assert!(c.contains(0));
+        assert!(c.contains(1));
+        // A third key in set 0 evicts key 0 only.
+        c.insert(2);
+        assert!(!c.contains(0));
+        assert!(c.contains(1));
+    }
+
+    #[test]
+    fn insert_refreshes_existing_key() {
+        let mut c = SetAssoc::new(1, 2);
+        c.insert(0);
+        c.insert(1);
+        c.insert(0); // refresh, not duplicate
+        assert_eq!(c.occupancy(), 2);
+        let evicted = c.insert(2);
+        assert_eq!(evicted, Some(1));
+    }
+
+    #[test]
+    fn invalidate_and_flush() {
+        let mut c = SetAssoc::new(2, 2);
+        c.insert(5);
+        c.insert(6);
+        assert!(c.invalidate(5));
+        assert!(!c.invalidate(5));
+        assert!(c.contains(6));
+        c.flush();
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn with_capacity_geometry() {
+        let c = SetAssoc::with_capacity(1536, 12);
+        assert_eq!(c.sets(), 128);
+        assert_eq!(c.ways(), 12);
+        assert_eq!(c.capacity(), 1536);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of associativity")]
+    fn with_capacity_rejects_bad_geometry() {
+        SetAssoc::with_capacity(100, 3);
+    }
+
+    #[test]
+    fn contains_does_not_affect_stats_or_lru() {
+        let mut c = SetAssoc::new(1, 2);
+        c.insert(0);
+        c.insert(1);
+        assert!(c.contains(0));
+        // `contains` must not have refreshed 0, so 0 is still LRU.
+        let evicted = c.insert(2);
+        assert_eq!(evicted, Some(0));
+        assert_eq!(c.hits(), 0);
+    }
+}

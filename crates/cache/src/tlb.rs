@@ -1,0 +1,324 @@
+//! Two-level TLB model (L1 D-TLB per page size + shared L2 STLB).
+//!
+//! Geometry follows Table 3: 64-entry 4-way L1 D-TLB, 1536-entry 12-way L2
+//! STLB. Entries are tagged by `(VPN at the page's own granularity, page
+//! size)` so 4 KiB, 2 MiB and 1 GiB translations coexist, which is what
+//! makes THP improve TLB reach in the experiments.
+
+use crate::set_assoc::SetAssoc;
+use dmt_mem::{PageSize, VirtAddr};
+
+/// Where a TLB lookup hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TlbHit {
+    /// L1 data TLB.
+    L1,
+    /// Shared second-level TLB.
+    Stlb,
+    /// Not present — a page walk is required.
+    Miss,
+}
+
+/// TLB geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// L1 D-TLB entries (per page size).
+    pub l1_entries: u64,
+    /// L1 D-TLB associativity.
+    pub l1_ways: usize,
+    /// Shared STLB entries.
+    pub stlb_entries: u64,
+    /// STLB associativity.
+    pub stlb_ways: usize,
+}
+
+impl TlbConfig {
+    /// Table 3's configuration: 64-entry 4-way L1D TLB, 1536-entry 12-way
+    /// STLB.
+    pub fn xeon_gold_6138() -> Self {
+        TlbConfig {
+            l1_entries: 64,
+            l1_ways: 4,
+            stlb_entries: 1536,
+            stlb_ways: 12,
+        }
+    }
+
+    /// Tiny TLB for unit tests.
+    pub fn tiny() -> Self {
+        TlbConfig {
+            l1_entries: 4,
+            l1_ways: 2,
+            stlb_entries: 16,
+            stlb_ways: 4,
+        }
+    }
+}
+
+impl Default for TlbConfig {
+    fn default() -> Self {
+        Self::xeon_gold_6138()
+    }
+}
+
+/// TLB hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Hits in the L1 TLB.
+    pub l1_hits: u64,
+    /// Hits in the STLB (after an L1 miss).
+    pub stlb_hits: u64,
+    /// Full misses (page walk required).
+    pub misses: u64,
+}
+
+impl TlbStats {
+    /// Total lookups.
+    pub fn total(&self) -> u64 {
+        self.l1_hits + self.stlb_hits + self.misses
+    }
+
+    /// Miss ratio over all lookups (0 when there were none).
+    pub fn miss_ratio(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.misses as f64 / t as f64
+        }
+    }
+}
+
+/// A two-level TLB: per-page-size L1 arrays backed by a shared STLB.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    l1_4k: SetAssoc,
+    l1_2m: SetAssoc,
+    l1_1g: SetAssoc,
+    stlb: SetAssoc,
+    stats: TlbStats,
+}
+
+impl Tlb {
+    /// Build a TLB from a configuration.
+    pub fn new(config: TlbConfig) -> Self {
+        let l1 = || SetAssoc::with_capacity(config.l1_entries, config.l1_ways);
+        Tlb {
+            l1_4k: l1(),
+            l1_2m: l1(),
+            l1_1g: l1(),
+            stlb: SetAssoc::with_capacity(config.stlb_entries, config.stlb_ways),
+            stats: TlbStats::default(),
+        }
+    }
+
+    fn l1_for(&mut self, size: PageSize) -> &mut SetAssoc {
+        match size {
+            PageSize::Size4K => &mut self.l1_4k,
+            PageSize::Size2M => &mut self.l1_2m,
+            PageSize::Size1G => &mut self.l1_1g,
+        }
+    }
+
+    /// STLB tag: page-granular VPN disambiguated by size (sizes share the
+    /// STLB but cannot alias).
+    fn stlb_key(va: VirtAddr, size: PageSize) -> u64 {
+        (va.vpn_for(size) << 2) | size.encode() as u64
+    }
+
+    /// Look up the translation for `va` assuming it is mapped at `size`.
+    ///
+    /// On an STLB hit, the entry is promoted into the L1 array. Misses do
+    /// *not* fill the TLB — call [`fill`](Self::fill) once the walk
+    /// completes, as hardware does.
+    pub fn lookup(&mut self, va: VirtAddr, size: PageSize) -> TlbHit {
+        let key = va.vpn_for(size);
+        if self.l1_for(size).lookup(key) {
+            self.stats.l1_hits += 1;
+            return TlbHit::L1;
+        }
+        let skey = Self::stlb_key(va, size);
+        if self.stlb.lookup(skey) {
+            self.l1_for(size).insert(key);
+            self.stats.stlb_hits += 1;
+            return TlbHit::Stlb;
+        }
+        self.stats.misses += 1;
+        TlbHit::Miss
+    }
+
+    /// Probe all page sizes at once, as hardware does when the mapping
+    /// size is unknown. Counts a single lookup in the stats.
+    pub fn lookup_any(&mut self, va: VirtAddr) -> Option<(TlbHit, PageSize)> {
+        // L1 arrays first (all sizes), then the STLB.
+        for size in [PageSize::Size1G, PageSize::Size2M, PageSize::Size4K] {
+            let key = va.vpn_for(size);
+            if self.l1_for(size).lookup(key) {
+                self.stats.l1_hits += 1;
+                return Some((TlbHit::L1, size));
+            }
+        }
+        for size in [PageSize::Size1G, PageSize::Size2M, PageSize::Size4K] {
+            let skey = Self::stlb_key(va, size);
+            if self.stlb.lookup(skey) {
+                self.l1_for(size).insert(va.vpn_for(size));
+                self.stats.stlb_hits += 1;
+                return Some((TlbHit::Stlb, size));
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Install a translation after a completed page walk.
+    pub fn fill(&mut self, va: VirtAddr, size: PageSize) {
+        let key = va.vpn_for(size);
+        self.l1_for(size).insert(key);
+        self.stlb.insert(Self::stlb_key(va, size));
+    }
+
+    /// Invalidate one translation (e.g. on `munmap` or PTE change).
+    pub fn invalidate(&mut self, va: VirtAddr, size: PageSize) {
+        let key = va.vpn_for(size);
+        self.l1_for(size).invalidate(key);
+        self.stlb.invalidate(Self::stlb_key(va, size));
+    }
+
+    /// Full flush (context switch without ASIDs / TLB shootdown).
+    pub fn flush(&mut self) {
+        self.l1_4k.flush();
+        self.l1_2m.flush();
+        self.l1_1g.flush();
+        self.stlb.flush();
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+
+    /// Reset counters (contents kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = TlbStats::default();
+    }
+}
+
+impl Default for Tlb {
+    fn default() -> Self {
+        Self::new(TlbConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut t = Tlb::new(TlbConfig::tiny());
+        let va = VirtAddr(0x7f00_0000_1000);
+        assert_eq!(t.lookup(va, PageSize::Size4K), TlbHit::Miss);
+        t.fill(va, PageSize::Size4K);
+        assert_eq!(t.lookup(va, PageSize::Size4K), TlbHit::L1);
+        // Same 4 KiB page, different offset: still a hit.
+        assert_eq!(t.lookup(va + 0xfff, PageSize::Size4K), TlbHit::L1);
+    }
+
+    #[test]
+    fn stlb_catches_l1_evictions_and_promotes() {
+        let cfg = TlbConfig::tiny(); // L1: 4 entries (2 sets x 2 ways)
+        let mut t = Tlb::new(cfg);
+        // Fill 4 pages in the same L1 set (stride of 2 pages = set 0); the
+        // STLB set has 4 ways so all 4 stay resident there.
+        for i in 0..4u64 {
+            t.fill(VirtAddr(i * 2 * 4096), PageSize::Size4K);
+        }
+        // The oldest fills were evicted from L1 but live in the STLB.
+        assert_eq!(t.lookup(VirtAddr(0), PageSize::Size4K), TlbHit::Stlb);
+        // Promotion: second lookup hits L1.
+        assert_eq!(t.lookup(VirtAddr(0), PageSize::Size4K), TlbHit::L1);
+    }
+
+    #[test]
+    fn page_sizes_do_not_alias() {
+        let mut t = Tlb::new(TlbConfig::tiny());
+        let va = VirtAddr(0);
+        t.fill(va, PageSize::Size4K);
+        assert_eq!(t.lookup(va, PageSize::Size2M), TlbHit::Miss);
+        assert_eq!(t.lookup(va, PageSize::Size1G), TlbHit::Miss);
+        assert_eq!(t.lookup(va, PageSize::Size4K), TlbHit::L1);
+    }
+
+    #[test]
+    fn huge_pages_have_wider_reach() {
+        let mut t = Tlb::new(TlbConfig::tiny());
+        t.fill(VirtAddr(0), PageSize::Size2M);
+        // Any address within the 2 MiB page hits.
+        assert_eq!(
+            t.lookup(VirtAddr(2 * 1024 * 1024 - 1), PageSize::Size2M),
+            TlbHit::L1
+        );
+        assert_eq!(
+            t.lookup(VirtAddr(2 * 1024 * 1024), PageSize::Size2M),
+            TlbHit::Miss
+        );
+    }
+
+    #[test]
+    fn invalidate_removes_both_levels() {
+        let mut t = Tlb::new(TlbConfig::tiny());
+        let va = VirtAddr(0x1000);
+        t.fill(va, PageSize::Size4K);
+        t.invalidate(va, PageSize::Size4K);
+        assert_eq!(t.lookup(va, PageSize::Size4K), TlbHit::Miss);
+    }
+
+    #[test]
+    fn stats_track_levels() {
+        let mut t = Tlb::new(TlbConfig::tiny());
+        let va = VirtAddr(0x1000);
+        t.lookup(va, PageSize::Size4K); // miss
+        t.fill(va, PageSize::Size4K);
+        t.lookup(va, PageSize::Size4K); // L1 hit
+        let s = t.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.l1_hits, 1);
+        assert_eq!(s.total(), 2);
+        assert!((s.miss_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lookup_any_probes_all_sizes() {
+        let mut t = Tlb::new(TlbConfig::tiny());
+        let va = VirtAddr(0x12_3456_7000);
+        assert_eq!(t.lookup_any(va), None);
+        t.fill(va, PageSize::Size2M);
+        let (hit, size) = t.lookup_any(va + 0xfff).unwrap();
+        assert_eq!(hit, TlbHit::L1);
+        assert_eq!(size, PageSize::Size2M);
+        // Counted as one lookup each.
+        assert_eq!(t.stats().total(), 2);
+    }
+
+    #[test]
+    fn lookup_any_promotes_from_stlb() {
+        let cfg = TlbConfig::tiny();
+        let mut t = Tlb::new(cfg);
+        for i in 0..4u64 {
+            t.fill(VirtAddr(i * 2 * 4096), PageSize::Size4K);
+        }
+        let (hit, size) = t.lookup_any(VirtAddr(0)).unwrap();
+        assert_eq!(hit, TlbHit::Stlb);
+        assert_eq!(size, PageSize::Size4K);
+        let (hit, _) = t.lookup_any(VirtAddr(0)).unwrap();
+        assert_eq!(hit, TlbHit::L1, "promoted after the STLB hit");
+    }
+
+    #[test]
+    fn flush_clears_translations() {
+        let mut t = Tlb::new(TlbConfig::tiny());
+        t.fill(VirtAddr(0x1000), PageSize::Size4K);
+        t.flush();
+        assert_eq!(t.lookup(VirtAddr(0x1000), PageSize::Size4K), TlbHit::Miss);
+    }
+}

@@ -1,0 +1,291 @@
+//! The VMA-to-TEA mapping (the value stored in a DMT register).
+//!
+//! A [`VmaTeaMapping`] records that the pages of one VMA (or VMA cluster)
+//! have their last-level PTEs stored *in order* in a contiguous physical
+//! region — the Translation Entry Area. Locating the PTE for a virtual
+//! address is then pure arithmetic (Figure 7): subtract the VMA base,
+//! index the TEA.
+//!
+//! ## Alignment contract
+//!
+//! DMT keeps a single copy of every PTE: TEA pages *are* the page-table
+//! pages the ordinary x86 walker traverses. For both views to agree, each
+//! 4 KiB TEA page must be a valid table page, i.e. the mapping's coverage
+//! must start at a 512-entry table boundary (2 MiB of VA for 4 KiB pages,
+//! 1 GiB for 2 MiB pages). [`VmaTeaMapping::new`] therefore rounds the
+//! covered region outward to table-span boundaries; the few padding
+//! entries this adds are the same order of bubble the paper's clustering
+//! tolerates.
+
+use dmt_mem::addr::{ENTRIES_PER_TABLE, PTE_SIZE};
+use dmt_mem::{PageSize, Pfn, PhysAddr, VirtAddr};
+
+/// One VMA-to-TEA mapping: the payload of a DMT register.
+///
+/// # Examples
+///
+/// ```
+/// use dmt_core::vtmap::VmaTeaMapping;
+/// use dmt_mem::{PageSize, Pfn, VirtAddr};
+/// // A 16 MiB heap VMA with 4 KiB pages, TEA at frame 100.
+/// let m = VmaTeaMapping::new(VirtAddr(0x7f00_0020_0000), 16 << 20,
+///                            PageSize::Size4K, Pfn(100));
+/// assert!(m.covers(VirtAddr(0x7f00_0020_0000)));
+/// assert_eq!(m.tea_frames(), 8); // 8 table pages cover 16 MiB
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VmaTeaMapping {
+    /// First covered virtual page (4 KiB VPN), aligned down to a table
+    /// span.
+    covered_start_vpn: u64,
+    /// Covered length in pages of `page_size` granularity (rounded up to
+    /// whole table pages).
+    covered_pages: u64,
+    /// First frame of the TEA in physical memory.
+    tea_base: Pfn,
+    /// The page size whose last-level PTEs this TEA holds.
+    page_size: PageSize,
+    /// pvDMT: index into the per-VM gTEA table, when this is a guest
+    /// register whose TEA lives in host physical memory.
+    gtea_id: Option<u16>,
+}
+
+impl VmaTeaMapping {
+    /// Build a mapping covering `[vma_base, vma_base + len)` for pages of
+    /// `page_size`, with the TEA at `tea_base`.
+    ///
+    /// Coverage is rounded outward to 512-entry table spans (see the
+    /// module docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn new(vma_base: VirtAddr, len: u64, page_size: PageSize, tea_base: Pfn) -> Self {
+        assert!(len > 0, "empty VMA");
+        let span = ENTRIES_PER_TABLE << page_size.shift(); // bytes per table page
+        let start = vma_base.raw() / span * span;
+        let end = (vma_base.raw() + len).div_ceil(span) * span;
+        VmaTeaMapping {
+            covered_start_vpn: start >> 12,
+            covered_pages: (end - start) >> page_size.shift(),
+            tea_base,
+            page_size,
+            gtea_id: None,
+        }
+    }
+
+    /// Attach a gTEA ID (pvDMT guest registers).
+    #[must_use]
+    pub fn with_gtea_id(mut self, id: u16) -> Self {
+        self.gtea_id = Some(id);
+        self
+    }
+
+    /// The gTEA ID, if this mapping refers into a gTEA table.
+    pub fn gtea_id(&self) -> Option<u16> {
+        self.gtea_id
+    }
+
+    /// Page size of the PTEs in this TEA.
+    pub fn page_size(&self) -> PageSize {
+        self.page_size
+    }
+
+    /// First covered virtual address.
+    pub fn base(&self) -> VirtAddr {
+        VirtAddr(self.covered_start_vpn << 12)
+    }
+
+    /// Covered bytes (after table-span rounding).
+    pub fn covered_bytes(&self) -> u64 {
+        self.covered_pages << self.page_size.shift()
+    }
+
+    /// First TEA frame.
+    pub fn tea_base(&self) -> Pfn {
+        self.tea_base
+    }
+
+    /// Change the TEA location (after migration or splitting).
+    pub fn set_tea_base(&mut self, base: Pfn) {
+        self.tea_base = base;
+    }
+
+    /// Number of 4 KiB frames the TEA occupies (one table page per 512
+    /// PTEs).
+    pub fn tea_frames(&self) -> u64 {
+        self.covered_pages / ENTRIES_PER_TABLE
+    }
+
+    /// Whether `va` falls inside the covered region.
+    pub fn covers(&self, va: VirtAddr) -> bool {
+        let off = va.raw().wrapping_sub(self.covered_start_vpn << 12);
+        off < self.covered_bytes()
+    }
+
+    /// Physical address of the last-level PTE for `va` (Figure 7's two
+    /// arithmetic steps).
+    ///
+    /// Returns `None` when `va` is not covered.
+    pub fn pte_addr(&self, va: VirtAddr) -> Option<PhysAddr> {
+        if !self.covers(va) {
+            return None;
+        }
+        let page_index = (va.raw() - (self.covered_start_vpn << 12)) >> self.page_size.shift();
+        Some(PhysAddr::from_pfn(self.tea_base) + page_index * PTE_SIZE)
+    }
+
+    /// Byte offset of the last-level PTE for `va` from the start of the
+    /// TEA. This is the quantity a pvDMT guest register exposes: the guest
+    /// never learns the host-physical TEA base, only the offset, which the
+    /// fetcher bounds-checks against the gTEA table (§4.5.2).
+    ///
+    /// Returns `None` when `va` is not covered.
+    pub fn pte_offset(&self, va: VirtAddr) -> Option<u64> {
+        if !self.covers(va) {
+            return None;
+        }
+        let page_index = (va.raw() - (self.covered_start_vpn << 12)) >> self.page_size.shift();
+        Some(page_index * PTE_SIZE)
+    }
+
+    /// The TEA frame holding the table page for `va`, plus the entry index
+    /// inside it. This frame is exactly the radix table page at the
+    /// page-size's leaf level.
+    pub fn table_page_for(&self, va: VirtAddr) -> Option<(Pfn, u64)> {
+        let slot = self.pte_addr(va)?;
+        Some((slot.pfn(), slot.page_offset() / PTE_SIZE))
+    }
+
+    /// Split into two mappings at the midpoint of the covered table pages
+    /// (paper §4.2.2: halve until allocation succeeds). The caller
+    /// supplies the TEA base for the upper half.
+    ///
+    /// Returns `None` if the mapping covers only one table page and cannot
+    /// split.
+    pub fn split(&self, upper_tea_base: Pfn) -> Option<(VmaTeaMapping, VmaTeaMapping)> {
+        let frames = self.tea_frames();
+        if frames < 2 {
+            return None;
+        }
+        let lower_frames = frames / 2;
+        let lower_pages = lower_frames * ENTRIES_PER_TABLE;
+        let lower = VmaTeaMapping {
+            covered_start_vpn: self.covered_start_vpn,
+            covered_pages: lower_pages,
+            tea_base: self.tea_base,
+            page_size: self.page_size,
+            gtea_id: self.gtea_id,
+        };
+        let upper = VmaTeaMapping {
+            covered_start_vpn: self.covered_start_vpn
+                + (lower_pages << self.page_size.shift() >> 12),
+            covered_pages: self.covered_pages - lower_pages,
+            tea_base: upper_tea_base,
+            page_size: self.page_size,
+            gtea_id: self.gtea_id,
+        };
+        Some((lower, upper))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_rounds_to_table_spans() {
+        // 4 KiB pages: table span = 2 MiB. A VMA from 3 MiB to 5 MiB
+        // rounds out to [2 MiB, 6 MiB).
+        let m = VmaTeaMapping::new(VirtAddr(3 << 20), 2 << 20, PageSize::Size4K, Pfn(10));
+        assert_eq!(m.base(), VirtAddr(2 << 20));
+        assert_eq!(m.covered_bytes(), 4 << 20);
+        assert_eq!(m.tea_frames(), 2);
+    }
+
+    #[test]
+    fn pte_addr_is_linear_in_vpn() {
+        let base = VirtAddr(0x4000_0000); // 1 GiB, table-span aligned
+        let m = VmaTeaMapping::new(base, 8 << 20, PageSize::Size4K, Pfn(100));
+        let slot0 = m.pte_addr(base).unwrap();
+        assert_eq!(slot0, PhysAddr(100 << 12));
+        let slot5 = m.pte_addr(base + 5 * 4096).unwrap();
+        assert_eq!(slot5, PhysAddr((100 << 12) + 5 * 8));
+        // Offsets within a page do not change the slot.
+        assert_eq!(m.pte_addr(base + 5 * 4096 + 123), Some(slot5));
+    }
+
+    #[test]
+    fn table_page_alignment_matches_radix_indexing() {
+        // Because coverage starts at a table span, the entry index inside
+        // each TEA page equals VA[20:12] — the radix L1 index.
+        let base = VirtAddr(0x4000_0000);
+        let m = VmaTeaMapping::new(base, 8 << 20, PageSize::Size4K, Pfn(100));
+        for probe in [0u64, 1, 511, 512, 1000] {
+            let va = VirtAddr(base.raw() + probe * 4096);
+            let (_, idx) = m.table_page_for(va).unwrap();
+            assert_eq!(idx, va.level_index(1), "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn huge_page_tea_granularity() {
+        // 2 MiB pages: table span = 1 GiB; one TEA page per GiB of VA.
+        let m = VmaTeaMapping::new(VirtAddr(0), 3 << 30, PageSize::Size2M, Pfn(50));
+        assert_eq!(m.tea_frames(), 3);
+        let va = VirtAddr((2 << 30) + (7 << 21) + 0x1234);
+        let slot = m.pte_addr(va).unwrap();
+        // Page index = 2*512 + 7.
+        assert_eq!(slot, PhysAddr((50 << 12) + (2 * 512 + 7) * 8));
+        let (_, idx) = m.table_page_for(va).unwrap();
+        assert_eq!(idx, va.level_index(2));
+    }
+
+    #[test]
+    fn covers_boundaries_exactly() {
+        let m = VmaTeaMapping::new(VirtAddr(2 << 20), 2 << 20, PageSize::Size4K, Pfn(1));
+        assert!(m.covers(VirtAddr(2 << 20)));
+        assert!(m.covers(VirtAddr((4 << 20) - 1)));
+        assert!(!m.covers(VirtAddr(4 << 20)));
+        assert!(!m.covers(VirtAddr((2 << 20) - 1)));
+        assert_eq!(m.pte_addr(VirtAddr(4 << 20)), None);
+    }
+
+    #[test]
+    fn tea_size_ratio_matches_paper() {
+        // "a 200 MB TEA is needed for 100 GB data with 4 KB pages" (§7):
+        // the TEA is PTE_SIZE/PAGE_SIZE = 1/512 of the VMA.
+        let m = VmaTeaMapping::new(VirtAddr(0), 100 << 30, PageSize::Size4K, Pfn(0));
+        let tea_bytes = m.tea_frames() * 4096;
+        assert_eq!(tea_bytes, (100 << 30) / 512); // 200 MiB
+    }
+
+    #[test]
+    fn split_halves_coverage() {
+        let m = VmaTeaMapping::new(VirtAddr(0), 8 << 20, PageSize::Size4K, Pfn(10));
+        let (lo, hi) = m.split(Pfn(99)).unwrap();
+        assert_eq!(lo.tea_frames() + hi.tea_frames(), m.tea_frames());
+        assert_eq!(lo.base(), m.base());
+        assert_eq!(hi.base(), VirtAddr(4 << 20));
+        assert_eq!(hi.tea_base(), Pfn(99));
+        // Every address is covered by exactly one half, and its slot in
+        // the half matches slot arithmetic.
+        let va = VirtAddr(5 << 20);
+        assert!(!lo.covers(va));
+        let slot = hi.pte_addr(va).unwrap();
+        assert_eq!(slot, PhysAddr((99 << 12) + ((1 << 20) >> 12) * 8));
+    }
+
+    #[test]
+    fn single_page_mapping_cannot_split() {
+        let m = VmaTeaMapping::new(VirtAddr(0), 4096, PageSize::Size4K, Pfn(1));
+        assert_eq!(m.tea_frames(), 1);
+        assert!(m.split(Pfn(9)).is_none());
+    }
+
+    #[test]
+    fn gtea_id_roundtrip() {
+        let m = VmaTeaMapping::new(VirtAddr(0), 4096, PageSize::Size4K, Pfn(1)).with_gtea_id(7);
+        assert_eq!(m.gtea_id(), Some(7));
+    }
+}

@@ -1,0 +1,177 @@
+//! Physical-memory substrate for the DMT reproduction.
+//!
+//! This crate models everything below the OS: address/page-size primitives
+//! ([`addr`]), a Linux-style binary buddy allocator with contiguous
+//! allocation ([`buddy`]), fragmentation metrics and a fragmenter matching
+//! the paper's §6.3 methodology ([`frag`]), movable-page compaction
+//! ([`compact`]), and word-addressable physical memory in which page
+//! tables and Translation Entry Areas actually live ([`phys`]).
+//!
+//! # Example
+//!
+//! ```
+//! use dmt_mem::phys::PhysMemory;
+//! use dmt_mem::buddy::FrameKind;
+//! # fn main() -> Result<(), dmt_mem::MemError> {
+//! // 64 MiB of physical memory; carve a 100-frame TEA out of it.
+//! let mut pm = PhysMemory::new_bytes(64 << 20);
+//! let tea = pm.alloc_contig(100, FrameKind::Tea)?;
+//! assert!(tea.0 + 100 <= pm.buddy().total_frames());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod addr;
+pub mod buddy;
+pub mod compact;
+pub mod frag;
+pub mod phys;
+
+pub use addr::{PageSize, Pfn, PhysAddr, VirtAddr, Vpn};
+pub use buddy::{BuddyAllocator, FrameKind, FrameState};
+pub use phys::{MemoryOps, PhysMemory};
+
+use core::fmt;
+
+/// Errors produced by the physical-memory substrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MemError {
+    /// No free block large enough for the requested order.
+    OutOfMemory,
+    /// Requested order exceeds the allocator's maximum.
+    OrderTooLarge {
+        /// The requested order.
+        order: u8,
+        /// The allocator's maximum order.
+        max: u8,
+    },
+    /// No contiguous free run of the requested length exists.
+    NoContiguousRun {
+        /// Number of frames requested.
+        frames: u64,
+    },
+    /// Attempt to free a frame that is not (fully) allocated, or a
+    /// misaligned block.
+    InvalidFree {
+        /// Offending frame number.
+        pfn: u64,
+    },
+    /// Attempt to reserve a range containing an allocated frame.
+    RangeNotFree {
+        /// First non-free frame found.
+        pfn: u64,
+    },
+    /// Attempt to relocate a frame that is free or pinned.
+    NotMovable {
+        /// Offending frame number.
+        pfn: u64,
+    },
+    /// A zero-sized allocation or free was requested.
+    ZeroSized,
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::OutOfMemory => write!(f, "out of physical memory"),
+            MemError::OrderTooLarge { order, max } => {
+                write!(f, "requested order {order} exceeds maximum {max}")
+            }
+            MemError::NoContiguousRun { frames } => {
+                write!(f, "no contiguous run of {frames} frames available")
+            }
+            MemError::InvalidFree { pfn } => write!(f, "invalid free of frame {pfn:#x}"),
+            MemError::RangeNotFree { pfn } => {
+                write!(f, "range reservation hit allocated frame {pfn:#x}")
+            }
+            MemError::NotMovable { pfn } => write!(f, "frame {pfn:#x} is not movable"),
+            MemError::ZeroSized => write!(f, "zero-sized request"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// Result alias for this crate.
+pub type Result<T> = core::result::Result<T, MemError>;
+
+#[cfg(test)]
+mod proptests {
+    use crate::buddy::{BuddyAllocator, FrameKind, FrameState};
+    use crate::Pfn;
+    use proptest::prelude::*;
+
+    /// Free-frame accounting must always match per-frame state.
+    fn check_invariants(a: &BuddyAllocator) {
+        let free_by_state = (0..a.total_frames())
+            .filter(|f| a.frame_state(Pfn(*f)) == FrameState::Free)
+            .count() as u64;
+        assert_eq!(free_by_state, a.free_frames());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn buddy_survives_random_alloc_free(ops in prop::collection::vec((0u8..4, 0u8..6), 1..200)) {
+            let mut a = BuddyAllocator::new(512);
+            let mut live: Vec<(Pfn, u8)> = Vec::new();
+            for (op, order) in ops {
+                match op {
+                    0 | 1 => {
+                        if let Ok(p) = a.alloc_order(order, FrameKind::Data) {
+                            live.push((p, order));
+                        }
+                    }
+                    2 => {
+                        if !live.is_empty() {
+                            let (p, o) = live.swap_remove(order as usize % live.len());
+                            a.free_order(p, o).unwrap();
+                        }
+                    }
+                    _ => {
+                        let n = 1 + order as u64 * 7;
+                        if let Ok(p) = a.alloc_contig(n, FrameKind::Tea) {
+                            a.free_contig(p, n).unwrap();
+                        }
+                    }
+                }
+                check_invariants(&a);
+            }
+            for (p, o) in live {
+                a.free_order(p, o).unwrap();
+            }
+            check_invariants(&a);
+            prop_assert_eq!(a.free_frames(), 512);
+            // Everything merges back into the single maximal block.
+            prop_assert_eq!(a.largest_free_block(), 512);
+        }
+
+        #[test]
+        fn contig_allocations_never_overlap(sizes in prop::collection::vec(1u64..40, 1..20)) {
+            let mut a = BuddyAllocator::new(2048);
+            let mut runs: Vec<(u64, u64)> = Vec::new();
+            for n in sizes {
+                if let Ok(p) = a.alloc_contig(n, FrameKind::Tea) {
+                    for (s, len) in &runs {
+                        let disjoint = p.0 + n <= *s || *s + *len <= p.0;
+                        prop_assert!(disjoint, "overlap: [{}, {}) vs [{}, {})", p.0, p.0 + n, s, s + len);
+                    }
+                    runs.push((p.0, n));
+                }
+            }
+        }
+
+        #[test]
+        fn reserved_ranges_round_trip(start in 0u64..400, n in 1u64..100) {
+            let mut a = BuddyAllocator::new(512);
+            prop_assume!(start + n <= 512);
+            a.reserve_range(start, n, FrameKind::Tea).unwrap();
+            prop_assert_eq!(a.free_frames(), 512 - n);
+            a.free_contig(Pfn(start), n).unwrap();
+            prop_assert_eq!(a.free_frames(), 512);
+            prop_assert_eq!(a.largest_free_block(), 512);
+        }
+    }
+}

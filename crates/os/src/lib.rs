@@ -1,0 +1,184 @@
+//! DMT-Linux: the OS side of Direct Memory Translation (§4.2–§4.4, §4.6.2).
+//!
+//! * [`vma`] — VMAs and the per-process address space.
+//! * [`tea`] — TEA creation/deletion/expansion and gradual migration,
+//!   backed by the contiguous allocator with on-demand defragmentation.
+//! * [`mapping`] — VMA-to-TEA mapping management: clustering under the 2%
+//!   bubble threshold, splitting on contiguity failure, largest-VMA
+//!   register selection, and the Table 1 clustering analysis.
+//! * [`proc`] — the process: demand paging, THP promotion/demotion, and
+//!   DMT register loading on context switch.
+//!
+//! # Example
+//!
+//! ```
+//! use dmt_os::proc::{Process, ThpMode};
+//! use dmt_os::vma::VmaKind;
+//! use dmt_core::regfile::DmtRegisterFile;
+//! use dmt_mem::{PhysMemory, VirtAddr};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut pm = PhysMemory::new_bytes(64 << 20);
+//! let mut proc = Process::new(&mut pm, ThpMode::Never)?;
+//! proc.mmap(&mut pm, VirtAddr(0x4000_0000), 16 << 20, VmaKind::Heap)?;
+//! let mut regs = DmtRegisterFile::new();
+//! proc.load_registers(&mut regs);
+//! assert!(regs.covers(VirtAddr(0x4000_0000)));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod mapping;
+pub mod proc;
+pub mod tea;
+pub mod vma;
+
+pub use mapping::{cluster_spans, min_vmas_for_coverage, MappingManager, MappingPolicy};
+pub use proc::{Process, ThpMode};
+pub use tea::{Tea, TeaManager, TeaMigration};
+pub use vma::{AddressSpace, Vma, VmaId, VmaKind};
+
+use core::fmt;
+use dmt_mem::MemError;
+use dmt_pgtable::PtError;
+
+/// Errors from the OS layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum OsError {
+    /// Region overlaps an existing VMA.
+    VmaOverlap {
+        /// Base of the conflicting request.
+        base: u64,
+    },
+    /// Empty or unaligned range.
+    BadRange {
+        /// Base of the request.
+        base: u64,
+        /// Length of the request.
+        len: u64,
+    },
+    /// Unknown VMA id.
+    NoSuchVma {
+        /// The id.
+        id: u64,
+    },
+    /// Address not covered by any VMA.
+    NotInVma {
+        /// The address.
+        va: u64,
+    },
+    /// A TEA could not be allocated even after defragmentation.
+    TeaAllocFailed {
+        /// Frames requested.
+        frames: u64,
+    },
+    /// THP promotion/demotion preconditions not met.
+    PromotionBlocked {
+        /// The offending address.
+        va: u64,
+    },
+    /// Underlying physical-memory failure.
+    Mem(MemError),
+    /// Underlying page-table failure.
+    Pt(PtError),
+}
+
+impl fmt::Display for OsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OsError::VmaOverlap { base } => write!(f, "VMA overlap at {base:#x}"),
+            OsError::BadRange { base, len } => {
+                write!(f, "bad range base={base:#x} len={len:#x}")
+            }
+            OsError::NoSuchVma { id } => write!(f, "no VMA with id {id}"),
+            OsError::NotInVma { va } => write!(f, "address {va:#x} is outside every VMA"),
+            OsError::TeaAllocFailed { frames } => {
+                write!(f, "could not allocate a contiguous TEA of {frames} frames")
+            }
+            OsError::PromotionBlocked { va } => {
+                write!(f, "huge-page operation blocked at {va:#x}")
+            }
+            OsError::Mem(e) => write!(f, "memory error: {e}"),
+            OsError::Pt(e) => write!(f, "page-table error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OsError::Mem(e) => Some(e),
+            OsError::Pt(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MemError> for OsError {
+    fn from(e: MemError) -> Self {
+        OsError::Mem(e)
+    }
+}
+
+impl From<PtError> for OsError {
+    fn from(e: PtError) -> Self {
+        OsError::Pt(e)
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use crate::mapping::{cluster_spans, min_vmas_for_coverage};
+    use proptest::prelude::*;
+
+    fn sorted_disjoint_spans() -> impl Strategy<Value = Vec<(u64, u64)>> {
+        prop::collection::vec((0u64..1000, 1u64..100), 1..30).prop_map(|raw| {
+            let mut spans = Vec::new();
+            let mut cursor = 0u64;
+            for (gap, len) in raw {
+                let base = cursor + gap;
+                spans.push((base << 12, len << 12));
+                cursor = base + len;
+            }
+            spans
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Clustering never loses coverage, never overlaps, and respects
+        /// the bubble budget per cluster.
+        #[test]
+        fn clustering_invariants(spans in sorted_disjoint_spans(), pct in 0u32..20) {
+            let t = pct as f64 / 100.0;
+            let clusters = cluster_spans(&spans, t);
+            for (b, l) in &spans {
+                let n = clusters
+                    .iter()
+                    .filter(|c| *b >= c.base && b + l <= c.base + c.span)
+                    .count();
+                prop_assert_eq!(n, 1);
+            }
+            for c in &clusters {
+                prop_assert!(c.bubbles as f64 / c.span as f64 <= t + 1e-9);
+            }
+            for w in clusters.windows(2) {
+                prop_assert!(w[0].base + w[0].span <= w[1].base);
+            }
+            prop_assert!(clusters.len() <= spans.len());
+        }
+
+        /// Coverage count is monotone in the fraction and bounded by the
+        /// number of spans.
+        #[test]
+        fn coverage_monotone(spans in sorted_disjoint_spans()) {
+            let c50 = min_vmas_for_coverage(&spans, 0.50);
+            let c90 = min_vmas_for_coverage(&spans, 0.90);
+            let c99 = min_vmas_for_coverage(&spans, 0.99);
+            prop_assert!(c50 <= c90 && c90 <= c99);
+            prop_assert!(c99 <= spans.len());
+            prop_assert!(c50 >= 1);
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! Translation Entry Area management (§4.3).
+//!
+//! TEAs are contiguous physical regions holding last-level PTEs in VMA
+//! order. [`TeaManager`] implements the paper's life cycle: creation via
+//! the contiguous page allocator (falling back to on-demand
+//! defragmentation), deletion, in-place expansion, and **gradual
+//! migration** — when a TEA cannot grow in place, a new TEA is allocated
+//! and pages are moved incrementally by a background worker while the DMT
+//! register's P bit stays clear, so translations fall back to the x86
+//! walker until the move completes.
+
+use crate::OsError;
+use dmt_mem::buddy::FrameKind;
+use dmt_mem::compact::{make_contig, Migration};
+use dmt_mem::{MemError, Pfn, PhysMemory};
+
+/// A live TEA: a contiguous run of frames holding PTEs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tea {
+    /// First frame.
+    pub base: Pfn,
+    /// Length in frames.
+    pub frames: u64,
+}
+
+/// Cost/accounting counters for TEA management (feeds the §6.3 overhead
+/// experiment).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TeaStats {
+    /// TEAs created.
+    pub created: u64,
+    /// TEAs deleted.
+    pub deleted: u64,
+    /// Successful in-place expansions.
+    pub expanded_in_place: u64,
+    /// Migrations started (in-place expansion failed).
+    pub migrations: u64,
+    /// Individual TEA pages copied by the migration worker.
+    pub pages_migrated: u64,
+    /// Creations that needed the allocator's defragmentation path.
+    pub defrag_assisted: u64,
+    /// Data-page moves performed by defragmentation on TEAs' behalf.
+    pub defrag_page_moves: u64,
+}
+
+/// An in-flight gradual TEA migration (§4.3).
+///
+/// While a migration is pending the owning mapping's register must have
+/// its P bit cleared; [`TeaManager::migration_step`] moves one page per
+/// call (the background worker's unit of work).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TeaMigration {
+    /// The TEA being vacated.
+    pub from: Tea,
+    /// The TEA being filled.
+    pub to: Tea,
+    /// Pages copied so far.
+    pub moved: u64,
+}
+
+impl TeaMigration {
+    /// Whether every page has been copied.
+    pub fn done(&self) -> bool {
+        self.moved >= self.from.frames
+    }
+}
+
+/// Allocator/owner of all TEAs.
+#[derive(Debug, Default)]
+pub struct TeaManager {
+    stats: TeaStats,
+}
+
+impl TeaManager {
+    /// A fresh manager.
+    pub fn new() -> Self {
+        TeaManager::default()
+    }
+
+    /// Accounting counters.
+    pub fn stats(&self) -> TeaStats {
+        self.stats
+    }
+
+    /// Create a TEA of `frames` contiguous frames.
+    ///
+    /// Tries the contiguous allocator first; on fragmentation failure,
+    /// asks the allocator to defragment (movable-page compaction) and
+    /// retries, mirroring `alloc_contig_pages`' on-demand compaction.
+    /// Returns the TEA plus any data-page migrations compaction performed
+    /// (the caller must patch page tables for those).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsError::TeaAllocFailed`] when even compaction cannot
+    /// produce the contiguity — the caller should split the mapping
+    /// (§4.2.2).
+    pub fn create(
+        &mut self,
+        pm: &mut PhysMemory,
+        frames: u64,
+    ) -> Result<(Tea, Vec<Migration>), OsError> {
+        match pm.alloc_contig(frames, FrameKind::Tea) {
+            Ok(base) => {
+                self.stats.created += 1;
+                Ok((Tea { base, frames }, Vec::new()))
+            }
+            Err(MemError::NoContiguousRun { .. }) => {
+                match make_contig(pm.buddy_mut(), frames, FrameKind::Tea) {
+                    Ok(res) => {
+                        self.stats.created += 1;
+                        self.stats.defrag_assisted += 1;
+                        self.stats.defrag_page_moves += res.migrations.len() as u64;
+                        // Compaction moved frame metadata only; move the
+                        // word contents to match.
+                        for m in &res.migrations {
+                            pm.copy_frame(m.src, m.dst);
+                        }
+                        Ok((
+                            Tea {
+                                base: res.start,
+                                frames,
+                            },
+                            res.migrations,
+                        ))
+                    }
+                    Err(_) => Err(OsError::TeaAllocFailed { frames }),
+                }
+            }
+            Err(e) => Err(OsError::Mem(e)),
+        }
+    }
+
+    /// Delete a TEA, freeing its frames.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocator errors on double frees.
+    pub fn delete(&mut self, pm: &mut PhysMemory, tea: Tea) -> Result<(), OsError> {
+        pm.free_contig(tea.base, tea.frames)?;
+        self.stats.deleted += 1;
+        Ok(())
+    }
+
+    /// Try to expand a TEA in place by `extra` frames.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsError::TeaAllocFailed`] when the frames above the TEA
+    /// are occupied; the caller then starts a migration.
+    pub fn expand_in_place(
+        &mut self,
+        pm: &mut PhysMemory,
+        tea: &mut Tea,
+        extra: u64,
+    ) -> Result<(), OsError> {
+        pm.buddy_mut()
+            .expand_in_place(tea.base, tea.frames, extra, FrameKind::Tea)
+            .map_err(|_| OsError::TeaAllocFailed { frames: extra })?;
+        tea.frames += extra;
+        self.stats.expanded_in_place += 1;
+        Ok(())
+    }
+
+    /// Begin a gradual migration of `tea` into a new TEA of `new_frames`
+    /// (≥ the old size).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsError::TeaAllocFailed`] when the new TEA cannot be
+    /// allocated even with compaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_frames < tea.frames`.
+    pub fn begin_migration(
+        &mut self,
+        pm: &mut PhysMemory,
+        tea: Tea,
+        new_frames: u64,
+    ) -> Result<TeaMigration, OsError> {
+        assert!(new_frames >= tea.frames, "migrations only grow TEAs");
+        let (to, _) = self.create(pm, new_frames)?;
+        self.stats.migrations += 1;
+        Ok(TeaMigration {
+            from: tea,
+            to,
+            moved: 0,
+        })
+    }
+
+    /// Background-worker step: copy one page of a pending migration.
+    /// Returns `true` while more pages remain.
+    pub fn migration_step(&mut self, pm: &mut PhysMemory, mig: &mut TeaMigration) -> bool {
+        if mig.done() {
+            return false;
+        }
+        let src = Pfn(mig.from.base.0 + mig.moved);
+        let dst = Pfn(mig.to.base.0 + mig.moved);
+        pm.copy_frame(src, dst);
+        mig.moved += 1;
+        self.stats.pages_migrated += 1;
+        !mig.done()
+    }
+
+    /// Finish a completed migration: free the old TEA and return the new
+    /// one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocator errors freeing the old TEA.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the migration is not [`TeaMigration::done`].
+    pub fn finish_migration(
+        &mut self,
+        pm: &mut PhysMemory,
+        mig: TeaMigration,
+    ) -> Result<Tea, OsError> {
+        assert!(mig.done(), "finish called before all pages moved");
+        self.delete(pm, mig.from)?;
+        Ok(mig.to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmt_mem::PhysAddr;
+
+    #[test]
+    fn create_and_delete() {
+        let mut pm = PhysMemory::new_frames(1024);
+        let mut mgr = TeaManager::new();
+        let (tea, migs) = mgr.create(&mut pm, 100).unwrap();
+        assert!(migs.is_empty());
+        assert_eq!(pm.bytes_of_kind(FrameKind::Tea), 100 * 4096);
+        mgr.delete(&mut pm, tea).unwrap();
+        assert_eq!(pm.bytes_of_kind(FrameKind::Tea), 0);
+        assert_eq!(mgr.stats().created, 1);
+        assert_eq!(mgr.stats().deleted, 1);
+    }
+
+    #[test]
+    fn create_uses_defrag_when_fragmented() {
+        let mut pm = PhysMemory::new_frames(256);
+        // Checkerboard data pages to destroy contiguity.
+        let mut held = Vec::new();
+        while pm.buddy().free_frames() > 0 {
+            held.push(pm.alloc_frame(FrameKind::Data).unwrap());
+        }
+        held.sort();
+        for p in held.iter().skip(1).step_by(2) {
+            pm.free_frame(*p).unwrap();
+        }
+        let mut mgr = TeaManager::new();
+        let (tea, migs) = mgr.create(&mut pm, 16).unwrap();
+        assert!(!migs.is_empty(), "compaction had to move data pages");
+        assert_eq!(mgr.stats().defrag_assisted, 1);
+        assert_eq!(tea.frames, 16);
+    }
+
+    #[test]
+    fn create_fails_when_memory_unmovable() {
+        let mut pm = PhysMemory::new_frames(64);
+        // Pin page-table frames everywhere.
+        for f in (0..64).step_by(2) {
+            pm.buddy_mut()
+                .reserve_range(f, 1, FrameKind::PageTable)
+                .unwrap();
+        }
+        let mut mgr = TeaManager::new();
+        assert!(matches!(
+            mgr.create(&mut pm, 4),
+            Err(OsError::TeaAllocFailed { frames: 4 })
+        ));
+    }
+
+    #[test]
+    fn in_place_expansion() {
+        let mut pm = PhysMemory::new_frames(1024);
+        let mut mgr = TeaManager::new();
+        let (mut tea, _) = mgr.create(&mut pm, 10).unwrap();
+        mgr.expand_in_place(&mut pm, &mut tea, 6).unwrap();
+        assert_eq!(tea.frames, 16);
+        assert_eq!(pm.bytes_of_kind(FrameKind::Tea), 16 * 4096);
+    }
+
+    #[test]
+    fn gradual_migration_copies_contents() {
+        let mut pm = PhysMemory::new_frames(1024);
+        let mut mgr = TeaManager::new();
+        let (tea, _) = mgr.create(&mut pm, 4).unwrap();
+        // Write recognizable PTE-ish content.
+        for i in 0..4u64 {
+            pm.write_word(PhysAddr::from_pfn(Pfn(tea.base.0 + i)), 0xbeef_0000 + i);
+        }
+        let mut mig = mgr.begin_migration(&mut pm, tea, 8).unwrap();
+        let mut steps = 0;
+        while mgr.migration_step(&mut pm, &mut mig) {
+            steps += 1;
+        }
+        assert_eq!(steps + 1, 4, "one step per page");
+        let new = mgr.finish_migration(&mut pm, mig).unwrap();
+        assert_eq!(new.frames, 8);
+        for i in 0..4u64 {
+            assert_eq!(
+                pm.read_word(PhysAddr::from_pfn(Pfn(new.base.0 + i))),
+                0xbeef_0000 + i
+            );
+        }
+        assert_eq!(mgr.stats().pages_migrated, 4);
+        // Old TEA frames were released.
+        assert_eq!(pm.bytes_of_kind(FrameKind::Tea), 8 * 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "finish called before")]
+    fn finishing_early_panics() {
+        let mut pm = PhysMemory::new_frames(256);
+        let mut mgr = TeaManager::new();
+        let (tea, _) = mgr.create(&mut pm, 4).unwrap();
+        let mig = mgr.begin_migration(&mut pm, tea, 4).unwrap();
+        let _ = mgr.finish_migration(&mut pm, mig);
+    }
+}

@@ -1,0 +1,510 @@
+//! Radix (multi-level) page tables living in simulated physical memory.
+//!
+//! [`RadixPageTable`] is the software view used by the OS layer: it maps,
+//! unmaps and translates without charging cycles. The hardware walkers
+//! ([`crate::walk`], [`crate::nested`]) re-walk the same physical entries
+//! through the cache hierarchy to measure latency.
+//!
+//! The table supports 4- and 5-level formats and 4 KiB / 2 MiB / 1 GiB
+//! leaves. For DMT, the crucial extra capability is
+//! [`install_table`](RadixPageTable::install_table): the OS can place a
+//! *specific* physical frame as a table page (a TEA page), so the
+//! last-level PTEs physically live inside the contiguous TEA while the
+//! ordinary x86 walker still finds them through the tree — DMT keeps a
+//! single copy of every PTE (paper §3).
+
+use crate::pte::{Pte, PteFlags};
+use crate::PtError;
+use dmt_mem::addr::{ENTRIES_PER_TABLE, PTE_SIZE};
+use dmt_mem::buddy::FrameKind;
+use dmt_mem::{MemoryOps, PageSize, Pfn, PhysAddr, VirtAddr};
+
+/// A radix page table rooted at a physical frame.
+///
+/// # Examples
+///
+/// ```
+/// use dmt_pgtable::radix::RadixPageTable;
+/// use dmt_pgtable::pte::PteFlags;
+/// use dmt_mem::{PhysMemory, PageSize, PhysAddr, VirtAddr};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut pm = PhysMemory::new_bytes(16 << 20);
+/// let mut pt = RadixPageTable::new(&mut pm, 4)?;
+/// pt.map(&mut pm, VirtAddr(0x7000_0000), PhysAddr(0x1000), PageSize::Size4K, PteFlags::WRITABLE)?;
+/// let (pa, size) = pt.translate(&pm, VirtAddr(0x7000_0123)).unwrap();
+/// assert_eq!(pa, PhysAddr(0x1123));
+/// assert_eq!(size, PageSize::Size4K);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RadixPageTable {
+    root: Pfn,
+    levels: u8,
+}
+
+impl RadixPageTable {
+    /// Allocate an empty page table with the given number of levels (4 or
+    /// 5).
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is not 4 or 5.
+    pub fn new<M: MemoryOps>(pm: &mut M, levels: u8) -> Result<Self, PtError> {
+        assert!(levels == 4 || levels == 5, "x86 trees have 4 or 5 levels");
+        let root = pm.alloc_zeroed_frame(FrameKind::PageTable)?;
+        Ok(RadixPageTable { root, levels })
+    }
+
+    /// Adopt an existing (already zeroed) frame as the root — used when
+    /// the root must come from a specific allocator, e.g. a guest's
+    /// physical space.
+    pub fn from_root(root: Pfn, levels: u8) -> Self {
+        assert!(levels == 4 || levels == 5, "x86 trees have 4 or 5 levels");
+        RadixPageTable { root, levels }
+    }
+
+    /// The root table frame (the CR3 analog).
+    #[inline]
+    pub fn root(&self) -> Pfn {
+        self.root
+    }
+
+    /// Number of levels (4 or 5).
+    #[inline]
+    pub fn levels(&self) -> u8 {
+        self.levels
+    }
+
+    /// Physical address of the entry for `va` at `level`, assuming the
+    /// walk can reach it (all higher-level tables present and not huge).
+    ///
+    /// Performs a costless software walk from the root.
+    pub fn entry_pa<M: MemoryOps>(&self, pm: &M, va: VirtAddr, level: u8) -> Option<PhysAddr> {
+        let mut table = self.root;
+        let mut l = self.levels;
+        loop {
+            let pa = PhysAddr::from_pfn(table) + va.level_index(l) * PTE_SIZE;
+            if l == level {
+                return Some(pa);
+            }
+            let pte = Pte(pm.read_word(pa));
+            if !pte.present() || pte.is_leaf_at(l) {
+                return None;
+            }
+            table = pte.pfn();
+            l -= 1;
+        }
+    }
+
+    /// Read the entry for `va` at `level` (software walk, no cycles).
+    pub fn entry<M: MemoryOps>(&self, pm: &M, va: VirtAddr, level: u8) -> Option<Pte> {
+        self.entry_pa(pm, va, level).map(|pa| Pte(pm.read_word(pa)))
+    }
+
+    /// Map `va` to `pa` with the given page size, allocating intermediate
+    /// tables as needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PtError::Unaligned`] if `va` or `pa` is not size-aligned,
+    /// [`PtError::AlreadyMapped`] if a present leaf exists, or a memory
+    /// error if table allocation fails.
+    pub fn map<M: MemoryOps>(
+        &mut self,
+        pm: &mut M,
+        va: VirtAddr,
+        pa: PhysAddr,
+        size: PageSize,
+        flags: PteFlags,
+    ) -> Result<(), PtError> {
+        if !va.is_aligned(size) || !pa.is_aligned(size) {
+            return Err(PtError::Unaligned { addr: va.raw() });
+        }
+        let leaf_level = size.leaf_level();
+        let slot = self.walk_to_slot(pm, va, leaf_level, true)?;
+        let existing = Pte(pm.read_word(slot));
+        if existing.present() {
+            return Err(PtError::AlreadyMapped { va: va.raw() });
+        }
+        let pte = if leaf_level == 1 {
+            Pte::leaf(pa.pfn(), flags)
+        } else {
+            Pte::huge_leaf(pa.pfn(), flags)
+        };
+        pm.write_word(slot, pte.raw());
+        Ok(())
+    }
+
+    /// Remove the mapping of `va` at the given page size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PtError::NotMapped`] if no present leaf of that size
+    /// exists.
+    pub fn unmap<M: MemoryOps>(&mut self, pm: &mut M, va: VirtAddr, size: PageSize) -> Result<(), PtError> {
+        let leaf_level = size.leaf_level();
+        let slot = self
+            .entry_pa(pm, va, leaf_level)
+            .ok_or(PtError::NotMapped { va: va.raw() })?;
+        let pte = Pte(pm.read_word(slot));
+        if !pte.present() || !pte.is_leaf_at(leaf_level) {
+            return Err(PtError::NotMapped { va: va.raw() });
+        }
+        pm.write_word(slot, Pte::EMPTY.raw());
+        Ok(())
+    }
+
+    /// Software-translate `va` to a physical address and its mapping size.
+    pub fn translate<M: MemoryOps>(&self, pm: &M, va: VirtAddr) -> Option<(PhysAddr, PageSize)> {
+        let mut table = self.root;
+        let mut l = self.levels;
+        loop {
+            let pa = PhysAddr::from_pfn(table) + va.level_index(l) * PTE_SIZE;
+            let pte = Pte(pm.read_word(pa));
+            if !pte.present() {
+                return None;
+            }
+            if pte.is_leaf_at(l) {
+                let size = match l {
+                    1 => PageSize::Size4K,
+                    2 => PageSize::Size2M,
+                    3 => PageSize::Size1G,
+                    _ => return None, // PS at L4/L5 is not architectural
+                };
+                let base = pte.phys_addr();
+                return Some((PhysAddr(base.raw() + va.offset_in(size)), size));
+            }
+            table = pte.pfn();
+            l -= 1;
+        }
+    }
+
+    /// Install `table_pfn` as the table page serving `va` at `level`
+    /// (i.e. the entry at `level + 1` will point to it).
+    ///
+    /// If a table already exists there, its 512 entries are copied into
+    /// the new page and the old frame is freed — this is exactly the PTE
+    /// migration DMT-Linux performs when TEA pages take over from
+    /// buddy-scattered page-table pages (§4.3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PtError::HugeConflict`] if the covering entry is a
+    /// huge-page leaf, or a memory error if intermediate allocation fails.
+    pub fn install_table<M: MemoryOps>(
+        &mut self,
+        pm: &mut M,
+        va: VirtAddr,
+        level: u8,
+        table_pfn: Pfn,
+    ) -> Result<(), PtError> {
+        assert!(
+            level >= 1 && level < self.levels,
+            "cannot install a table at the root level"
+        );
+        let slot = self.walk_to_slot(pm, va, level + 1, true)?;
+        let existing = Pte(pm.read_word(slot));
+        if existing.present() {
+            if existing.huge() {
+                return Err(PtError::HugeConflict { va: va.raw() });
+            }
+            let old = existing.pfn();
+            if old == table_pfn {
+                return Ok(());
+            }
+            pm.copy_frame(old, table_pfn);
+            pm.write_word(slot, Pte::table(table_pfn).raw());
+            pm.free_frame(old)?;
+        } else {
+            pm.write_word(slot, Pte::table(table_pfn).raw());
+        }
+        Ok(())
+    }
+
+    /// The frame of the table page serving `va` at `level`, if present.
+    pub fn table_frame<M: MemoryOps>(&self, pm: &M, va: VirtAddr, level: u8) -> Option<Pfn> {
+        if level == self.levels {
+            return Some(self.root);
+        }
+        let pte = self.entry(pm, va, level + 1)?;
+        if pte.present() && !pte.huge() {
+            Some(pte.pfn())
+        } else {
+            None
+        }
+    }
+
+    /// Point the covering entry of `va` at `level` away from its current
+    /// table page to `new_pfn` **without copying** (caller already placed
+    /// content there). Used by gradual TEA migration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PtError::NotMapped`] if no table exists at that position.
+    pub fn retarget_table<M: MemoryOps>(
+        &mut self,
+        pm: &mut M,
+        va: VirtAddr,
+        level: u8,
+        new_pfn: Pfn,
+    ) -> Result<Pfn, PtError> {
+        let slot = self
+            .entry_pa(pm, va, level + 1)
+            .ok_or(PtError::NotMapped { va: va.raw() })?;
+        let existing = Pte(pm.read_word(slot));
+        if !existing.present() || existing.huge() {
+            return Err(PtError::NotMapped { va: va.raw() });
+        }
+        let old = existing.pfn();
+        pm.write_word(slot, Pte::table(new_pfn).raw());
+        Ok(old)
+    }
+
+    /// Count table pages reachable from the root (the page-table memory
+    /// footprint used in §6.3), including the root itself.
+    pub fn table_pages<M: MemoryOps>(&self, pm: &M) -> u64 {
+        fn rec<M: MemoryOps>(pm: &M, table: Pfn, level: u8) -> u64 {
+            let mut count = 1;
+            if level == 1 {
+                return count;
+            }
+            for i in 0..ENTRIES_PER_TABLE {
+                let pte = Pte(pm.read_word(PhysAddr::from_pfn(table) + i * PTE_SIZE));
+                if pte.present() && !pte.is_leaf_at(level) {
+                    count += rec(pm, pte.pfn(), level - 1);
+                }
+            }
+            count
+        }
+        rec(pm, self.root, self.levels)
+    }
+
+    /// Walk to the entry slot for `va` at `target_level`, optionally
+    /// allocating intermediate tables.
+    fn walk_to_slot<M: MemoryOps>(
+        &mut self,
+        pm: &mut M,
+        va: VirtAddr,
+        target_level: u8,
+        alloc: bool,
+    ) -> Result<PhysAddr, PtError> {
+        let mut table = self.root;
+        let mut l = self.levels;
+        loop {
+            let slot = PhysAddr::from_pfn(table) + va.level_index(l) * PTE_SIZE;
+            if l == target_level {
+                return Ok(slot);
+            }
+            let pte = Pte(pm.read_word(slot));
+            if pte.present() {
+                if pte.huge() {
+                    return Err(PtError::HugeConflict { va: va.raw() });
+                }
+                table = pte.pfn();
+            } else if alloc {
+                let fresh = pm.alloc_zeroed_frame(FrameKind::PageTable)?;
+                pm.write_word(slot, Pte::table(fresh).raw());
+                table = fresh;
+            } else {
+                return Err(PtError::NotMapped { va: va.raw() });
+            }
+            l -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmt_mem::PhysMemory;
+
+    fn setup() -> (PhysMemory, RadixPageTable) {
+        let mut pm = PhysMemory::new_bytes(32 << 20);
+        let pt = RadixPageTable::new(&mut pm, 4).unwrap();
+        (pm, pt)
+    }
+
+    #[test]
+    fn map_translate_unmap_4k() {
+        let (mut pm, mut pt) = setup();
+        let va = VirtAddr(0x7fff_0000_1000);
+        pt.map(&mut pm, va, PhysAddr(0x5000), PageSize::Size4K, PteFlags::WRITABLE)
+            .unwrap();
+        assert_eq!(
+            pt.translate(&pm, va + 0x42),
+            Some((PhysAddr(0x5042), PageSize::Size4K))
+        );
+        pt.unmap(&mut pm, va, PageSize::Size4K).unwrap();
+        assert_eq!(pt.translate(&pm, va), None);
+    }
+
+    #[test]
+    fn map_2m_huge_page() {
+        let (mut pm, mut pt) = setup();
+        let va = VirtAddr(0x4000_0000);
+        let pa = PhysAddr(0x80_0000);
+        pt.map(&mut pm, va, pa, PageSize::Size2M, PteFlags::default())
+            .unwrap();
+        let (got, size) = pt.translate(&pm, va + 0x12_3456).unwrap();
+        assert_eq!(size, PageSize::Size2M);
+        assert_eq!(got, PhysAddr(pa.raw() + 0x12_3456));
+        // The leaf lives at L2: only root + L3 + L2 tables exist.
+        assert_eq!(pt.table_pages(&pm), 3);
+    }
+
+    #[test]
+    fn map_1g_huge_page() {
+        let (mut pm, mut pt) = setup();
+        let va = VirtAddr(0x80_0000_0000);
+        pt.map(&mut pm, va, PhysAddr(0x4000_0000), PageSize::Size1G, PteFlags::default())
+            .unwrap();
+        let (got, size) = pt.translate(&pm, va + 0xabc_def0).unwrap();
+        assert_eq!(size, PageSize::Size1G);
+        assert_eq!(got.raw(), 0x4000_0000 + 0xabc_def0);
+        assert_eq!(pt.table_pages(&pm), 2); // root + L4->L3 table
+    }
+
+    #[test]
+    fn unaligned_map_rejected() {
+        let (mut pm, mut pt) = setup();
+        assert!(matches!(
+            pt.map(&mut pm, VirtAddr(0x123), PhysAddr(0), PageSize::Size4K, PteFlags::default()),
+            Err(PtError::Unaligned { .. })
+        ));
+        assert!(matches!(
+            pt.map(&mut pm, VirtAddr(0x1000), PhysAddr(0), PageSize::Size2M, PteFlags::default()),
+            Err(PtError::AlreadyMapped { .. }) | Err(PtError::Unaligned { .. })
+        ));
+    }
+
+    #[test]
+    fn double_map_rejected() {
+        let (mut pm, mut pt) = setup();
+        let va = VirtAddr(0x1000);
+        pt.map(&mut pm, va, PhysAddr(0x2000), PageSize::Size4K, PteFlags::default())
+            .unwrap();
+        assert!(matches!(
+            pt.map(&mut pm, va, PhysAddr(0x3000), PageSize::Size4K, PteFlags::default()),
+            Err(PtError::AlreadyMapped { .. })
+        ));
+    }
+
+    #[test]
+    fn five_level_tree_works() {
+        let mut pm = PhysMemory::new_bytes(32 << 20);
+        let mut pt = RadixPageTable::new(&mut pm, 5).unwrap();
+        // An address above the 4-level canonical range.
+        let va = VirtAddr(0x00ff_8000_0000_0000 & ((1 << 57) - 1));
+        pt.map(&mut pm, va, PhysAddr(0x9000), PageSize::Size4K, PteFlags::default())
+            .unwrap();
+        assert_eq!(
+            pt.translate(&pm, va),
+            Some((PhysAddr(0x9000), PageSize::Size4K))
+        );
+        // 5 tables: root(L5) + L4 + L3 + L2 + L1.
+        assert_eq!(pt.table_pages(&pm), 5);
+    }
+
+    #[test]
+    fn install_table_places_specific_frame() {
+        let (mut pm, mut pt) = setup();
+        let va = VirtAddr(0x20_0000); // 2 MiB-aligned
+        let tea_page = pm.alloc_contig(1, FrameKind::Tea).unwrap();
+        pt.install_table(&mut pm, va, 1, tea_page).unwrap();
+        assert_eq!(pt.table_frame(&pm, va, 1), Some(tea_page));
+        // Mapping through the tree writes into the installed TEA page.
+        pt.map(&mut pm, va, PhysAddr(0x7000), PageSize::Size4K, PteFlags::default())
+            .unwrap();
+        let slot = PhysAddr::from_pfn(tea_page) + va.level_index(1) * PTE_SIZE;
+        assert!(Pte(pm.read_word(slot)).present());
+    }
+
+    #[test]
+    fn install_table_migrates_existing_entries() {
+        let (mut pm, mut pt) = setup();
+        let va = VirtAddr(0x20_0000);
+        pt.map(&mut pm, va, PhysAddr(0x7000), PageSize::Size4K, PteFlags::default())
+            .unwrap();
+        let old = pt.table_frame(&pm, va, 1).unwrap();
+        let tea_page = pm.alloc_contig(1, FrameKind::Tea).unwrap();
+        pt.install_table(&mut pm, va, 1, tea_page).unwrap();
+        assert_ne!(pt.table_frame(&pm, va, 1).unwrap(), old);
+        // The translation survived the migration.
+        assert_eq!(
+            pt.translate(&pm, va),
+            Some((PhysAddr(0x7000), PageSize::Size4K))
+        );
+    }
+
+    #[test]
+    fn install_table_conflicts_with_huge_leaf() {
+        let (mut pm, mut pt) = setup();
+        let va = VirtAddr(0x20_0000);
+        pt.map(&mut pm, va, PhysAddr(0x20_0000), PageSize::Size2M, PteFlags::default())
+            .unwrap();
+        let tea_page = pm.alloc_contig(1, FrameKind::Tea).unwrap();
+        assert!(matches!(
+            pt.install_table(&mut pm, va, 1, tea_page),
+            Err(PtError::HugeConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn retarget_table_swaps_without_copy() {
+        let (mut pm, mut pt) = setup();
+        let va = VirtAddr(0x20_0000);
+        pt.map(&mut pm, va, PhysAddr(0x7000), PageSize::Size4K, PteFlags::default())
+            .unwrap();
+        let old = pt.table_frame(&pm, va, 1).unwrap();
+        let fresh = pm.alloc_contig(1, FrameKind::Tea).unwrap();
+        pm.copy_frame(old, fresh);
+        let returned = pt.retarget_table(&mut pm, va, 1, fresh).unwrap();
+        assert_eq!(returned, old);
+        assert_eq!(
+            pt.translate(&pm, va),
+            Some((PhysAddr(0x7000), PageSize::Size4K))
+        );
+    }
+
+    #[test]
+    fn entry_pa_exposes_slot_addresses() {
+        let (mut pm, mut pt) = setup();
+        let va = VirtAddr(0x1000);
+        pt.map(&mut pm, va, PhysAddr(0x2000), PageSize::Size4K, PteFlags::default())
+            .unwrap();
+        // Root entry slot is index 0 of the root frame for this VA.
+        let root_slot = pt.entry_pa(&pm, va, 4).unwrap();
+        assert_eq!(root_slot, PhysAddr::from_pfn(pt.root()) + 0);
+        // The L1 slot's content translates the page.
+        let l1_slot = pt.entry_pa(&pm, va, 1).unwrap();
+        assert_eq!(Pte(pm.read_word(l1_slot)).phys_addr(), PhysAddr(0x2000));
+    }
+
+    #[test]
+    fn mixed_sizes_in_one_tree() {
+        let (mut pm, mut pt) = setup();
+        pt.map(&mut pm, VirtAddr(0x1000), PhysAddr(0x1000), PageSize::Size4K, PteFlags::default())
+            .unwrap();
+        pt.map(&mut pm, VirtAddr(0x20_0000), PhysAddr(0x20_0000), PageSize::Size2M, PteFlags::default())
+            .unwrap();
+        pt.map(
+            &mut pm,
+            VirtAddr(0x1_4000_0000),
+            PhysAddr(0x4000_0000),
+            PageSize::Size1G,
+            PteFlags::default(),
+        )
+        .unwrap();
+        assert_eq!(pt.translate(&pm, VirtAddr(0x1000)).unwrap().1, PageSize::Size4K);
+        assert_eq!(pt.translate(&pm, VirtAddr(0x20_0000)).unwrap().1, PageSize::Size2M);
+        assert_eq!(
+            pt.translate(&pm, VirtAddr(0x1_4000_0000)).unwrap().1,
+            PageSize::Size1G
+        );
+    }
+}

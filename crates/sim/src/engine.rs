@@ -1,0 +1,167 @@
+//! The trace-driven simulation loop (§5 methodology).
+//!
+//! For each access: probe the TLB; on a miss, invoke the rig's
+//! translation path (which charges the cache hierarchy for each PTE
+//! fetch) and refill the TLB; finally charge the data access itself
+//! through the same hierarchy — the contention between data lines and
+//! PTE lines is what makes last-level PTEs expensive for big-footprint
+//! workloads.
+
+use crate::rig::Rig;
+use dmt_cache::hierarchy::MemoryHierarchy;
+use dmt_cache::tlb::Tlb;
+use dmt_workloads::gen::Access;
+
+/// Aggregated run statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunStats {
+    /// Accesses measured (after warmup).
+    pub accesses: u64,
+    /// TLB misses → page walks.
+    pub walks: u64,
+    /// Total cycles spent translating.
+    pub walk_cycles: u64,
+    /// Total sequential PTE references.
+    pub walk_refs: u64,
+    /// Cycles spent on the data accesses themselves.
+    pub data_cycles: u64,
+    /// Translations that fell back to the hardware walker.
+    pub fallbacks: u64,
+    /// VM exits attributed to the design (from the rig).
+    pub exits: u64,
+    /// Page faults during setup (for exit-ratio normalization).
+    pub faults: u64,
+}
+
+impl RunStats {
+    /// Average page-walk latency in cycles (the paper's page-walk metric).
+    pub fn avg_walk_latency(&self) -> f64 {
+        if self.walks == 0 {
+            0.0
+        } else {
+            self.walk_cycles as f64 / self.walks as f64
+        }
+    }
+
+    /// Average sequential references per walk.
+    pub fn avg_refs(&self) -> f64 {
+        if self.walks == 0 {
+            0.0
+        } else {
+            self.walk_refs as f64 / self.walks as f64
+        }
+    }
+
+    /// TLB miss ratio over measured accesses.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.walks as f64 / self.accesses as f64
+        }
+    }
+
+    /// Total translation overhead cycles (the `O_sim` of §5's model).
+    pub fn overhead_cycles(&self) -> u64 {
+        self.walk_cycles
+    }
+}
+
+/// Run `trace` through the rig. The first `warmup` accesses warm the TLB
+/// and caches; statistics cover the remainder.
+pub fn run(rig: &mut dyn Rig, trace: &[Access], warmup: usize) -> RunStats {
+    let mut tlb = Tlb::default();
+    let mut hier = MemoryHierarchy::default();
+    let mut stats = RunStats::default();
+    for (i, a) in trace.iter().enumerate() {
+        let measured = i >= warmup;
+        match tlb.lookup_any(a.va) {
+            Some(_) => {}
+            None => {
+                let tr = rig.translate(a.va, &mut hier);
+                tlb.fill(a.va, tr.size);
+                if measured {
+                    stats.walks += 1;
+                    stats.walk_cycles += tr.cycles;
+                    stats.walk_refs += tr.refs;
+                    if tr.fallback {
+                        stats.fallbacks += 1;
+                    }
+                }
+            }
+        }
+        let pa = rig.data_pa(a.va);
+        let (_, cyc) = hier.access(pa.raw());
+        if measured {
+            stats.accesses += 1;
+            stats.data_cycles += cyc;
+        }
+    }
+    stats.exits = rig.exits();
+    stats.faults = rig.faults();
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::native_rig::NativeRig;
+    use crate::rig::Design;
+    use dmt_workloads::bench7::Gups;
+    use dmt_workloads::gen::Workload;
+
+    fn tiny_gups() -> Gups {
+        // Must exceed the PWC's 64 MiB reach (32 L2 entries x 2 MiB) or
+        // vanilla walks degenerate to single fetches.
+        Gups {
+            table_bytes: 160 << 20,
+        }
+    }
+
+    #[test]
+    fn vanilla_native_walks_cost_more_than_dmt() {
+        let w = tiny_gups();
+        let trace = w.trace(6_000, 99);
+        let mut vanilla = NativeRig::new(Design::Vanilla, false, &w, &trace).unwrap();
+        let sv = super::run(&mut vanilla, &trace, 1_000);
+        let mut dmt = NativeRig::new(Design::Dmt, false, &w, &trace).unwrap();
+        let sd = super::run(&mut dmt, &trace, 1_000);
+        assert!(sv.walks > 1_000, "GUPS must thrash the TLB: {}", sv.walks);
+        assert!(
+            sd.avg_walk_latency() < sv.avg_walk_latency(),
+            "DMT {} !< vanilla {}",
+            sd.avg_walk_latency(),
+            sv.avg_walk_latency()
+        );
+        assert!(sd.avg_refs() <= 1.01, "DMT native is one reference");
+        assert!(sv.avg_refs() > 1.5);
+        assert_eq!(sd.fallbacks, 0, "one-VMA GUPS is fully covered");
+    }
+
+    #[test]
+    fn engine_counts_are_consistent() {
+        let w = Gups { table_bytes: 32 << 20 };
+        let trace = w.trace(3_000, 5);
+        let mut rig = NativeRig::new(Design::Vanilla, false, &w, &trace).unwrap();
+        let s = super::run(&mut rig, &trace, 500);
+        assert_eq!(s.accesses, 2_500);
+        assert!(s.walks <= s.accesses);
+        assert!(s.data_cycles > 0);
+        assert!(s.miss_ratio() > 0.0 && s.miss_ratio() <= 1.0);
+    }
+
+    #[test]
+    fn thp_cuts_tlb_misses() {
+        let w = Gups { table_bytes: 32 << 20 };
+        let trace = w.trace(6_000, 7);
+        let mut small = NativeRig::new(Design::Vanilla, false, &w, &trace).unwrap();
+        let s4 = super::run(&mut small, &trace, 1_000);
+        let mut huge = NativeRig::new(Design::Vanilla, true, &w, &trace).unwrap();
+        let s2 = super::run(&mut huge, &trace, 1_000);
+        assert!(
+            s2.miss_ratio() < s4.miss_ratio(),
+            "THP {} !< 4K {}",
+            s2.miss_ratio(),
+            s4.miss_ratio()
+        );
+    }
+}

@@ -1,0 +1,795 @@
+//! One runner per table/figure of the paper's evaluation (§6).
+//!
+//! Each function builds the rigs, drives the engine, applies the §5
+//! performance model, and returns structured rows; `dmt-bench` and the
+//! examples print them via [`crate::report`].
+
+use crate::engine::{run, RunStats};
+use crate::native_rig::NativeRig;
+use crate::nested_rig::NestedRig;
+use crate::perfmodel::{app_speedup, calib_for, exit_ratio, geomean};
+use crate::rig::{Design, Env, Rig};
+use crate::virt_rig::VirtRig;
+use dmt_workloads::bench7::{BTree, Canneal, Graph500, Gups, Memcached, Redis, XsBench};
+use dmt_workloads::gen::Workload;
+
+/// Workload scaling for the experiments: footprints are divided by
+/// `div` (relative to the already-scaled defaults in `dmt-workloads`)
+/// and traces truncated, so the full figure sweeps run in minutes while
+/// footprints still dwarf TLB/PWC/LLC reach.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Footprint multiplier for 4 KiB runs over the ~256 MiB workload
+    /// defaults. The paper's regime (MMU caches cover a sliver of the
+    /// footprint) needs multi-GiB spreads; with lazy backing and sparse
+    /// population only the trace's pages are materialized, so this is
+    /// cheap.
+    pub mult4k: u64,
+    /// Footprint multiplier for THP runs: 2 MiB pages need multi-GiB
+    /// footprints to exceed the 1536-entry STLB's 3 GiB reach.
+    pub thp_mult: u64,
+    /// Measured accesses per run.
+    pub trace: usize,
+    /// Warmup accesses per run.
+    pub warmup: usize,
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale {
+            mult4k: 64,  // ~16 GiB
+            thp_mult: 32, // ~8 GiB
+            trace: 400_000,
+            warmup: 100_000,
+        }
+    }
+}
+
+impl Scale {
+    /// A smaller scale for integration tests.
+    pub fn test() -> Self {
+        Scale {
+            mult4k: 32,
+            thp_mult: 16,
+            trace: 8_000,
+            warmup: 2_000,
+        }
+    }
+
+    /// Total trace length.
+    pub fn total(&self) -> usize {
+        self.trace + self.warmup
+    }
+}
+
+/// The seven benchmarks at the given scale and page-size mode, in the
+/// paper's order.
+pub fn scaled_benchmarks(scale: Scale, thp: bool) -> Vec<Box<dyn Workload>> {
+    let f = |v: u64| v * if thp { scale.thp_mult } else { scale.mult4k };
+    vec![
+        Box::new(Redis {
+            records: f(1 << 20),
+            ..Redis::default()
+        }) as Box<dyn Workload>,
+        Box::new(Memcached {
+            slabs: 64,
+            slab_bytes: f(4 << 20),
+            ..Memcached::default()
+        }),
+        Box::new(Gups {
+            table_bytes: f(256 << 20),
+        }),
+        Box::new(BTree {
+            nodes: f(1 << 21),
+            ..BTree::default()
+        }),
+        Box::new(Canneal {
+            elements: f(2 << 20),
+            ..Canneal::default()
+        }),
+        Box::new(XsBench {
+            gridpoints: f(1 << 16),
+            ..XsBench::default()
+        }),
+        Box::new(Graph500 {
+            vertices: f(1 << 21),
+            ..Graph500::default()
+        }),
+    ]
+}
+
+/// One (workload, design) measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Workload name.
+    pub workload: String,
+    /// Design.
+    pub design: Design,
+    /// Environment.
+    pub env: Env,
+    /// THP active.
+    pub thp: bool,
+    /// Engine statistics.
+    pub stats: RunStats,
+    /// DMT fetcher coverage (1.0 for non-DMT designs).
+    pub coverage: f64,
+}
+
+/// Run one (env, design, thp, workload) configuration.
+///
+/// # Errors
+///
+/// Propagates rig construction failures.
+pub fn run_one(
+    env: Env,
+    design: Design,
+    thp: bool,
+    w: &dyn Workload,
+    scale: Scale,
+) -> Result<Measurement, String> {
+    let trace = w.trace(scale.total(), 0xD317 ^ design as u64);
+    let (stats, coverage) = match env {
+        Env::Native => {
+            let mut rig = NativeRig::new(design, thp, w, &trace)?;
+            let s = run(&mut rig, &trace, scale.warmup);
+            (s, rig.coverage())
+        }
+        Env::Virt => {
+            let mut rig = VirtRig::new(design, thp, w, &trace)?;
+            let s = run(&mut rig, &trace, scale.warmup);
+            (s, rig.coverage())
+        }
+        Env::Nested => {
+            let mut rig = NestedRig::new(design, thp, w, &trace)?;
+            let s = run(&mut rig, &trace, scale.warmup);
+            (s, rig.coverage())
+        }
+    };
+    Ok(Measurement {
+        workload: w.name().to_string(),
+        design,
+        env,
+        thp,
+        stats,
+        coverage,
+    })
+}
+
+/// One speedup row of Figures 14/15/17.
+#[derive(Debug, Clone)]
+pub struct SpeedupRow {
+    /// Workload name.
+    pub workload: String,
+    /// Design.
+    pub design: Design,
+    /// Page-walk speedup over the environment's vanilla baseline.
+    pub pw_speedup: f64,
+    /// Application speedup (the §5 model).
+    pub app_speedup: f64,
+    /// DMT fetcher coverage.
+    pub coverage: f64,
+}
+
+/// Compare a design measurement against the vanilla baseline of the same
+/// (workload, env, thp), applying the exit model.
+pub fn speedup_row(base: &Measurement, m: &Measurement) -> SpeedupRow {
+    let calib = calib_for(&m.workload);
+    let pw = if m.stats.avg_walk_latency() > 0.0 {
+        base.stats.avg_walk_latency() / m.stats.avg_walk_latency()
+    } else {
+        1.0
+    };
+    let walk_ratio = if base.stats.walk_cycles > 0 {
+        m.stats.walk_cycles as f64 / base.stats.walk_cycles as f64
+    } else {
+        1.0
+    };
+    let er = exit_ratio(m.design, m.stats.exits, m.stats.faults.max(1));
+    // In the nested environment the *baseline* carries full shadow cost,
+    // so its own exit ratio is 1; designs are charged theirs.
+    let er = match (m.env, m.design) {
+        (Env::Nested, Design::Vanilla) => 1.0,
+        (Env::Virt, Design::Vanilla) => 0.0,
+        _ => er,
+    };
+    SpeedupRow {
+        workload: m.workload.clone(),
+        design: m.design,
+        pw_speedup: pw,
+        app_speedup: app_speedup(&calib, m.env, walk_ratio, er),
+        coverage: m.coverage,
+    }
+}
+
+/// A full figure: per-THP-mode, per-workload, per-design speedups plus
+/// geometric means.
+#[derive(Debug, Clone)]
+pub struct FigureData {
+    /// Figure label ("Figure 14" etc).
+    pub label: &'static str,
+    /// Environment.
+    pub env: Env,
+    /// (thp, rows) per page-size mode.
+    pub modes: Vec<(bool, Vec<SpeedupRow>)>,
+}
+
+impl FigureData {
+    /// Geomean page-walk / app speedup of a design in a mode.
+    pub fn geomeans(&self, thp: bool, design: Design) -> Option<(f64, f64)> {
+        let rows: Vec<&SpeedupRow> = self
+            .modes
+            .iter()
+            .find(|(t, _)| *t == thp)?
+            .1
+            .iter()
+            .filter(|r| r.design == design)
+            .collect();
+        if rows.is_empty() {
+            return None;
+        }
+        Some((
+            geomean(&rows.iter().map(|r| r.pw_speedup).collect::<Vec<_>>()),
+            geomean(&rows.iter().map(|r| r.app_speedup).collect::<Vec<_>>()),
+        ))
+    }
+}
+
+fn figure(
+    label: &'static str,
+    env: Env,
+    designs: &[Design],
+    scale: Scale,
+) -> Result<FigureData, String> {
+    let mut modes = Vec::new();
+    for thp in [false, true] {
+        let mut rows = Vec::new();
+        for w in scaled_benchmarks(scale, thp) {
+            let base = run_one(env, Design::Vanilla, thp, w.as_ref(), scale)?;
+            for &d in designs {
+                let m = run_one(env, d, thp, w.as_ref(), scale)?;
+                rows.push(speedup_row(&base, &m));
+            }
+        }
+        modes.push((thp, rows));
+    }
+    Ok(FigureData { label, env, modes })
+}
+
+/// Figure 14: native speedups of FPT / ECPT / ASAP / DMT over vanilla
+/// Linux, 4 KiB and THP.
+///
+/// # Errors
+///
+/// Propagates rig failures.
+pub fn fig14(scale: Scale) -> Result<FigureData, String> {
+    figure(
+        "Figure 14 (native)",
+        Env::Native,
+        &[Design::Fpt, Design::Ecpt, Design::Asap, Design::Dmt],
+        scale,
+    )
+}
+
+/// Figure 15: virtualized speedups of FPT / ECPT / Agile / ASAP / DMT /
+/// pvDMT over vanilla KVM.
+///
+/// # Errors
+///
+/// Propagates rig failures.
+pub fn fig15(scale: Scale) -> Result<FigureData, String> {
+    figure(
+        "Figure 15 (virtualized)",
+        Env::Virt,
+        &[
+            Design::Fpt,
+            Design::Ecpt,
+            Design::Agile,
+            Design::Asap,
+            Design::Dmt,
+            Design::PvDmt,
+        ],
+        scale,
+    )
+}
+
+/// Figure 17: nested-virtualization speedups of pvDMT over the shadow
+/// baseline.
+///
+/// # Errors
+///
+/// Propagates rig failures.
+pub fn fig17(scale: Scale) -> Result<FigureData, String> {
+    figure(
+        "Figure 17 (nested virtualization)",
+        Env::Nested,
+        &[Design::PvDmt],
+        scale,
+    )
+}
+
+/// Figure 4: normalized execution time of the four environments, with
+/// page-walk fractions. Native / virtualized / nested baselines derive
+/// from the calibration (the "measured" side of §5); the shadow-paging
+/// column combines the calibration with the simulated sPT/nPT walk
+/// ratio.
+#[derive(Debug, Clone)]
+pub struct Fig4Row {
+    /// Workload name.
+    pub workload: String,
+    /// (normalized time, page-walk fraction) per environment:
+    /// native, virt-nPT, virt-sPT, nested.
+    pub native: (f64, f64),
+    /// Virtualized with nested paging.
+    pub virt_npt: (f64, f64),
+    /// Virtualized with shadow paging.
+    pub virt_spt: (f64, f64),
+    /// Nested virtualization.
+    pub nested: (f64, f64),
+}
+
+/// Compute Figure 4.
+///
+/// # Errors
+///
+/// Propagates rig failures.
+pub fn fig4(scale: Scale) -> Result<Vec<Fig4Row>, String> {
+    let mut rows = Vec::new();
+    for w in scaled_benchmarks(scale, false) {
+        let calib = calib_for(w.name());
+        let base = run_one(Env::Virt, Design::Vanilla, false, w.as_ref(), scale)?;
+        let spt = run_one(Env::Virt, Design::Shadow, false, w.as_ref(), scale)?;
+        let spt_ratio = if base.stats.walk_cycles > 0 {
+            spt.stats.walk_cycles as f64 / base.stats.walk_cycles as f64
+        } else {
+            1.0
+        };
+        let ideal = 1.0 - calib.pw_native;
+        let t_virt = ideal / (1.0 - calib.pw_virt);
+        let t_spt = t_virt
+            * crate::perfmodel::normalized_time(&calib, Env::Virt, spt_ratio, 1.0);
+        let t_nested = ideal / (1.0 - calib.pw_nested - calib.shadow_exit_nested);
+        rows.push(Fig4Row {
+            workload: w.name().to_string(),
+            native: (1.0, calib.pw_native),
+            virt_npt: (t_virt, calib.pw_virt),
+            virt_spt: (
+                t_spt,
+                calib.pw_virt * spt_ratio * t_virt / t_spt,
+            ),
+            nested: (t_nested, calib.pw_nested),
+        });
+    }
+    Ok(rows)
+}
+
+/// Figure 16: per-step breakdown of the 2D walk (vanilla) and the
+/// two/three pvDMT fetches, for one workload.
+#[derive(Debug, Clone)]
+pub struct Fig16Step {
+    /// "gL3", "hL2", "pv-gPTE", ...
+    pub label: String,
+    /// Average cycles for this step.
+    pub avg_cycles: f64,
+    /// Share of the design's average walk latency.
+    pub share: f64,
+}
+
+/// Compute Figure 16 for Redis (and optionally any workload index).
+///
+/// # Errors
+///
+/// Propagates rig failures.
+pub fn fig16(thp: bool, scale: Scale) -> Result<(Vec<Fig16Step>, Vec<Fig16Step>), String> {
+    use dmt_cache::hierarchy::MemoryHierarchy;
+    use dmt_cache::tlb::Tlb;
+    let w = Redis {
+        records: (1 << 20) * if thp { scale.thp_mult } else { scale.mult4k },
+        ..Redis::default()
+    };
+    let trace = w.trace(scale.total(), 0xF16);
+
+    // Vanilla 2D walk, step-by-step.
+    let mut rig = VirtRig::new(Design::Vanilla, thp, &w, &trace)?;
+    let mut tlb = Tlb::default();
+    let mut hier = MemoryHierarchy::default();
+    let mut acc: std::collections::BTreeMap<(u8, u8), (u64, u64)> = Default::default();
+    for (i, a) in trace.iter().enumerate() {
+        if tlb.lookup_any(a.va).is_none() {
+            let out = rig
+                .machine_mut()
+                .translate_nested(a.va, &mut hier)
+                .map_err(|e| e.to_string())?;
+            tlb.fill(a.va, out.guest_size);
+            if i >= scale.warmup {
+                for (idx, st) in out.steps.iter().enumerate() {
+                    let dimcode = match st.dim {
+                        dmt_pgtable::walk::WalkDim::Guest => 0u8,
+                        _ => 1u8,
+                    };
+                    // Key by position within the walk (stable labeling).
+                    let e = acc.entry((idx as u8, dimcode * 8 + st.level)).or_default();
+                    e.0 += st.cycles;
+                    e.1 += 1;
+                }
+            }
+        }
+        let pa = rig.data_pa(a.va);
+        hier.access(pa.raw());
+    }
+    let total: f64 = acc.values().map(|(c, _)| *c as f64).sum();
+    let vanilla: Vec<Fig16Step> = acc
+        .iter()
+        .map(|((idx, code), (cyc, n))| {
+            let dim = if code / 8 == 0 { "g" } else { "h" };
+            Fig16Step {
+                label: format!("{:02}:{dim}L{}", idx, code % 8),
+                avg_cycles: *cyc as f64 / (*n).max(1) as f64,
+                share: *cyc as f64 / total.max(1.0),
+            }
+        })
+        .collect();
+
+    // pvDMT: two fetches.
+    let mut rig = VirtRig::new(Design::PvDmt, thp, &w, &trace)?;
+    let mut tlb = Tlb::default();
+    let mut hier = MemoryHierarchy::default();
+    let mut pv: Vec<(u64, u64)> = vec![(0, 0); 2];
+    for (i, a) in trace.iter().enumerate() {
+        if tlb.lookup_any(a.va).is_none() {
+            if let Ok(out) = rig.machine_mut().translate_pvdmt(a.va, &mut hier) {
+                tlb.fill(a.va, out.size);
+                if i >= scale.warmup {
+                    for (k, st) in out.steps.iter().enumerate().take(2) {
+                        pv[k].0 += st.cycles;
+                        pv[k].1 += 1;
+                    }
+                }
+            }
+        }
+        let pa = rig.data_pa(a.va);
+        hier.access(pa.raw());
+    }
+    let pv_total: f64 = pv.iter().map(|(c, _)| *c as f64).sum();
+    let pvdmt = vec![
+        Fig16Step {
+            label: "pv:gPTE".to_string(),
+            avg_cycles: pv[0].0 as f64 / pv[0].1.max(1) as f64,
+            share: pv[0].0 as f64 / pv_total.max(1.0),
+        },
+        Fig16Step {
+            label: "pv:hPTE".to_string(),
+            avg_cycles: pv[1].0 as f64 / pv[1].1.max(1) as f64,
+            share: pv[1].0 as f64 / pv_total.max(1.0),
+        },
+    ];
+    Ok((vanilla, pvdmt))
+}
+
+/// Table 5: geomean page-walk speedups of DMT/pvDMT over the other
+/// designs, from already-computed figure data.
+#[derive(Debug, Clone)]
+pub struct Table5Row {
+    /// "Native (4KB)" etc.
+    pub setting: String,
+    /// (design, DMT-or-pvDMT speedup over it).
+    pub over: Vec<(Design, f64)>,
+}
+
+/// Derive Table 5 from Figures 14 and 15.
+pub fn table5(fig14: &FigureData, fig15: &FigureData) -> Vec<Table5Row> {
+    let mut rows = Vec::new();
+    for (label, fig, our, others) in [
+        (
+            "Native (4KB)",
+            fig14,
+            Design::Dmt,
+            vec![Design::Fpt, Design::Ecpt, Design::Asap],
+        ),
+        (
+            "Native (THP)",
+            fig14,
+            Design::Dmt,
+            vec![Design::Fpt, Design::Ecpt, Design::Asap],
+        ),
+        (
+            "Virtualized (4KB)",
+            fig15,
+            Design::PvDmt,
+            vec![Design::Fpt, Design::Ecpt, Design::Agile, Design::Asap],
+        ),
+        (
+            "Virtualized (THP)",
+            fig15,
+            Design::PvDmt,
+            vec![Design::Fpt, Design::Ecpt, Design::Agile, Design::Asap],
+        ),
+    ] {
+        let thp = label.contains("THP");
+        let (our_pw, _) = match fig.geomeans(thp, our) {
+            Some(v) => v,
+            None => continue,
+        };
+        let over = others
+            .into_iter()
+            .filter_map(|d| fig.geomeans(thp, d).map(|(pw, _)| (d, our_pw / pw)))
+            .collect();
+        rows.push(Table5Row {
+            setting: label.to_string(),
+            over,
+        });
+    }
+    rows
+}
+
+/// One Table 6 row: design plus its reference count per environment
+/// (`None` = the design does not exist there).
+pub type Table6Row = (Design, Option<u64>, Option<u64>, Option<u64>);
+
+/// Table 6: sequential memory references per design per environment
+/// (analytic worst case, matching the paper's table).
+pub fn table6() -> Vec<Table6Row> {
+    vec![
+        (Design::PvDmt, Some(1), Some(2), Some(3)),
+        (Design::Ecpt, Some(1), Some(3), None),
+        (Design::Fpt, Some(2), Some(8), None),
+        (Design::Agile, None, Some(24), None), // 4–24; worst case listed
+        (Design::Asap, Some(4), Some(24), None),
+        (Design::Vanilla, Some(4), Some(24), Some(24)),
+    ]
+}
+
+/// §2.1.1 extension: five-level page tables. Returns
+/// `(vanilla_4lvl, vanilla_5lvl, dmt_5lvl)` average walk latencies for a
+/// GUPS-style uniform workload — the radix baseline gets *slower* with
+/// the fifth level while DMT's single fetch is depth-independent.
+///
+/// # Errors
+///
+/// Propagates setup failures.
+pub fn ext_5level(scale: Scale) -> Result<(f64, f64, f64), String> {
+    use dmt_cache::hierarchy::MemoryHierarchy;
+    use dmt_cache::pwc::PageWalkCache;
+    use dmt_cache::tlb::Tlb;
+    use dmt_core::regfile::DmtRegisterFile;
+    use dmt_mem::{PhysMemory, VirtAddr};
+    use dmt_os::mapping::MappingPolicy;
+    use dmt_os::proc::{Process, ThpMode};
+    use dmt_os::vma::VmaKind;
+    use dmt_pgtable::walk::{walk_dimension, WalkDim};
+    use dmt_workloads::gen::{Access, Region};
+
+    /// GUPS spread over eight 512 GiB-apart regions — the terabyte-scale
+    /// sparse address spaces 5-level paging exists for. The spread
+    /// thrashes the 2-entry L4 PWC, so radix walks regularly climb to
+    /// the root and pay for the extra level.
+    struct SparseGups {
+        bytes_per_region: u64,
+    }
+
+    impl Workload for SparseGups {
+        fn name(&self) -> &'static str {
+            "SparseGUPS"
+        }
+        fn regions(&self) -> Vec<Region> {
+            (0..8u64)
+                .map(|i| Region {
+                    base: VirtAddr((i + 1) << 39),
+                    len: self.bytes_per_region,
+                    label: "shard",
+                })
+                .collect()
+        }
+        fn generate(&self, n: usize, rng: &mut rand::rngs::SmallRng, out: &mut Vec<Access>) {
+            use rand::Rng;
+            for _ in 0..n {
+                let r = rng.gen_range(0..8u64);
+                let off = rng.gen_range(0..self.bytes_per_region / 8) * 8;
+                out.push(Access::write(VirtAddr(((r + 1) << 39) + off)));
+            }
+        }
+    }
+
+    let w = SparseGups {
+        bytes_per_region: (32 << 20) * scale.mult4k,
+    };
+    let trace = w.trace(scale.total(), 0x5135);
+    let pages = crate::rig::touched_pages(&trace);
+
+    let run = |levels: u8, dmt: bool| -> Result<f64, String> {
+        let touched = (pages.len() as u64) << 12;
+        let mut pm = PhysMemory::new_bytes(touched * 2 + (512 << 20));
+        let mut proc_ = Process::custom(
+            &mut pm,
+            ThpMode::Never,
+            MappingPolicy::default(),
+            dmt,
+            levels,
+        )
+        .map_err(|e| e.to_string())?;
+        for r in w.regions() {
+            proc_
+                .mmap(&mut pm, r.base, r.len, VmaKind::Heap)
+                .map_err(|e| e.to_string())?;
+        }
+        for &va in &pages {
+            proc_.populate(&mut pm, va).map_err(|e| e.to_string())?;
+        }
+        let mut regs = DmtRegisterFile::new();
+        if dmt {
+            proc_.load_registers(&mut regs);
+        }
+        let mut tlb = Tlb::default();
+        let mut hier = MemoryHierarchy::default();
+        let mut pwc = PageWalkCache::default();
+        let (mut walks, mut cycles) = (0u64, 0u64);
+        for (i, a) in trace.iter().enumerate() {
+            if tlb.lookup_any(a.va).is_none() {
+                let (cyc, size) = if dmt {
+                    let out =
+                        dmt_core::fetcher::fetch_native(&regs, &mut pm, &mut hier, a.va)
+                            .map_err(|e| e.to_string())?;
+                    (out.cycles, out.size)
+                } else {
+                    let out = walk_dimension(
+                        proc_.page_table(),
+                        &mut pm,
+                        a.va,
+                        WalkDim::Native,
+                        &mut hier,
+                        Some(&mut pwc),
+                    )
+                    .map_err(|e| e.to_string())?;
+                    (out.cycles, out.size)
+                };
+                tlb.fill(a.va, size);
+                if i >= scale.warmup {
+                    walks += 1;
+                    cycles += cyc;
+                }
+            }
+            let pa = proc_
+                .page_table()
+                .translate(&pm, a.va)
+                .expect("populated")
+                .0;
+            hier.access(pa.raw());
+        }
+        Ok(cycles as f64 / walks.max(1) as f64)
+    };
+
+    Ok((run(4, false)?, run(5, false)?, run(5, true)?))
+}
+
+/// Extension: frequent context switches. Two processes alternate every
+/// `quantum` accesses; each switch reloads the DMT registers (§4.1's
+/// task-state reload) and flushes the TLB. Returns
+/// `(vanilla_walk_cycles, dmt_walk_cycles, dmt_coverage)` — DMT's
+/// register reload is pure state, so its advantage survives switching.
+///
+/// # Errors
+///
+/// Propagates setup failures.
+pub fn ext_context_switch(
+    scale: Scale,
+    quantum: usize,
+) -> Result<(u64, u64, f64), String> {
+    use dmt_cache::hierarchy::MemoryHierarchy;
+    use dmt_cache::pwc::PageWalkCache;
+    use dmt_cache::tlb::Tlb;
+    use dmt_core::regfile::DmtRegisterFile;
+    use dmt_core::DmtError;
+    use dmt_mem::{PhysMemory, VirtAddr};
+    use dmt_os::proc::{Process, ThpMode};
+    use dmt_os::vma::VmaKind;
+    use dmt_pgtable::walk::{walk_dimension, WalkDim};
+    use dmt_workloads::bench7::Gups;
+
+    // Two GUPS processes over disjoint address ranges, one physical
+    // machine.
+    let w = Gups {
+        table_bytes: (64 << 20) * scale.mult4k,
+    };
+    let t0 = w.trace(scale.total(), 0xC0);
+    let t1: Vec<dmt_workloads::gen::Access> = w
+        .trace(scale.total(), 0xC1)
+        .into_iter()
+        .map(|a| dmt_workloads::gen::Access {
+            va: VirtAddr(a.va.raw() + (1 << 42)),
+            write: a.write,
+        })
+        .collect();
+    let pages0 = crate::rig::touched_pages(&t0);
+    let pages1 = crate::rig::touched_pages(&t1);
+    let touched = ((pages0.len() + pages1.len()) as u64) << 12;
+    let mut pm = PhysMemory::new_bytes(touched * 2 + (512 << 20));
+
+    let mut build = |pages: &[VirtAddr], base: u64| -> Result<Process, String> {
+        let mut p = Process::new(&mut pm, ThpMode::Never).map_err(|e| e.to_string())?;
+        for r in w.regions() {
+            p.mmap(&mut pm, VirtAddr(r.base.raw() + base), r.len, VmaKind::Heap)
+                .map_err(|e| e.to_string())?;
+        }
+        for &va in pages {
+            p.populate(&mut pm, va).map_err(|e| e.to_string())?;
+        }
+        Ok(p)
+    };
+    let procs = [build(&pages0, 0)?, build(&pages1, 1 << 42)?];
+    let traces = [&t0, &t1];
+
+    #[allow(clippy::needless_range_loop)] // `i` drives both the quantum and per-process trace indexing
+    let mut run = |dmt: bool| -> Result<(u64, f64), String> {
+        let mut tlb = Tlb::default();
+        let mut hier = MemoryHierarchy::default();
+        let mut pwc = PageWalkCache::default();
+        let mut regs = DmtRegisterFile::new();
+        let (mut cycles, mut hits, mut falls) = (0u64, 0u64, 0u64);
+        let mut cur = 0usize;
+        procs[cur].load_registers(&mut regs);
+        for i in 0..scale.total() {
+            if i % quantum == 0 && i > 0 {
+                // Context switch: register reload + TLB flush (+ PWC
+                // flush: it is virtually tagged).
+                cur ^= 1;
+                procs[cur].load_registers(&mut regs);
+                tlb.flush();
+                pwc.flush();
+            }
+            let a = &traces[cur][i];
+            if tlb.lookup_any(a.va).is_none() {
+                let (cyc, size) = if dmt {
+                    match dmt_core::fetcher::fetch_native(&regs, &mut pm, &mut hier, a.va) {
+                        Ok(out) => {
+                            hits += 1;
+                            (out.cycles, out.size)
+                        }
+                        Err(DmtError::NotCovered { .. }) => {
+                            falls += 1;
+                            let out = walk_dimension(
+                                procs[cur].page_table(),
+                                &mut pm,
+                                a.va,
+                                WalkDim::Native,
+                                &mut hier,
+                                Some(&mut pwc),
+                            )
+                            .map_err(|e| e.to_string())?;
+                            (out.cycles, out.size)
+                        }
+                        Err(e) => return Err(e.to_string()),
+                    }
+                } else {
+                    let out = walk_dimension(
+                        procs[cur].page_table(),
+                        &mut pm,
+                        a.va,
+                        WalkDim::Native,
+                        &mut hier,
+                        Some(&mut pwc),
+                    )
+                    .map_err(|e| e.to_string())?;
+                    (out.cycles, out.size)
+                };
+                tlb.fill(a.va, size);
+                if i >= scale.warmup {
+                    cycles += cyc;
+                }
+            }
+            let pa = procs[cur]
+                .page_table()
+                .translate(&pm, a.va)
+                .expect("populated")
+                .0;
+            hier.access(pa.raw());
+        }
+        let cov = if hits + falls == 0 {
+            1.0
+        } else {
+            hits as f64 / (hits + falls) as f64
+        };
+        Ok((cycles, cov))
+    };
+    let (vanilla, _) = run(false)?;
+    let (dmt, cov) = run(true)?;
+    Ok((vanilla, dmt, cov))
+}

@@ -1,0 +1,43 @@
+//! The evaluation harness: rigs for every (environment × design) pair,
+//! the trace-driven engine, the §5 execution-time model, and one runner
+//! per table/figure of the paper.
+//!
+//! * [`rig`] — the [`rig::Rig`] trait, [`rig::Design`] and [`rig::Env`].
+//! * [`native_rig`] / [`virt_rig`] / [`nested_rig`] — machines under
+//!   test.
+//! * [`engine`] — TLB → translate → data-access loop with statistics.
+//! * [`perfmodel`] — the calibrated execution-time model (see DESIGN.md
+//!   for the substitution rationale).
+//! * [`experiments`] — Figure 4/14/15/16/17 and Table 5/6 runners.
+//! * [`overheads`] — the §6.3 management/hypercall/memory overheads.
+//! * [`ablation`] — design-choice sweeps (register count, bubble
+//!   threshold, register policy, eager allocation).
+//! * [`report`] — ASCII tables.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use dmt_sim::experiments::{fig15, Scale};
+//! let data = fig15(Scale::test()).unwrap();
+//! for (thp, rows) in &data.modes {
+//!     for r in rows {
+//!         println!("{} {:?} thp={} pw={:.2}x app={:.2}x",
+//!                  r.workload, r.design, thp, r.pw_speedup, r.app_speedup);
+//!     }
+//! }
+//! ```
+
+pub mod ablation;
+pub mod engine;
+pub mod experiments;
+pub mod native_rig;
+pub mod nested_rig;
+pub mod overheads;
+pub mod perfmodel;
+pub mod report;
+pub mod rig;
+pub mod virt_rig;
+
+pub use engine::{run, RunStats};
+pub use experiments::{fig14, fig15, fig16, fig17, table5, table6, Scale};
+pub use rig::{Design, Env, Rig, Translation};

@@ -1,0 +1,148 @@
+//! Nested-virtualization rigs: the vanilla L2PT × sPT baseline and
+//! nested pvDMT (Figure 17).
+
+use crate::rig::{Design, Env, Rig, Translation};
+use dmt_cache::hierarchy::MemoryHierarchy;
+use dmt_core::DmtError;
+use dmt_mem::{PhysAddr, VirtAddr};
+use dmt_virt::nested::NestedMachine;
+use dmt_workloads::gen::Workload;
+
+/// A nested (L0/L1/L2) machine running one workload under one design.
+pub struct NestedRig {
+    m: NestedMachine,
+    design: Design,
+    thp: bool,
+    /// DMT fetcher hits.
+    pub fetch_hits: u64,
+    /// Fallbacks to the 2D baseline walk.
+    pub fallbacks: u64,
+}
+
+impl NestedRig {
+    /// Build the three-level stack and populate the L2 workload.
+    ///
+    /// # Errors
+    ///
+    /// Propagates setup failures as strings.
+    pub fn new(
+        design: Design,
+        thp: bool,
+        workload: &dyn Workload,
+        trace: &[dmt_workloads::gen::Access],
+    ) -> Result<Self, String> {
+        assert!(design.available_in(Env::Nested));
+        let footprint = workload.footprint();
+        let pages = crate::rig::touched_pages(trace);
+        let touched_bytes = (pages.len() as u64) << (if thp { 21 } else { 12 });
+        let l2_bytes = footprint + (96 << 20);
+        let l1_bytes = l2_bytes + (64 << 20);
+        let l0_bytes = touched_bytes * 3 + footprint / 128 + (768 << 20);
+        let mut m =
+            NestedMachine::new(l0_bytes, l1_bytes, l2_bytes, thp).map_err(|e| e.to_string())?;
+        if design == Design::PvDmt {
+            for (base, len) in crate::rig::cluster_regions(&workload.regions(), thp) {
+                m.l2_mmap(base, len).map_err(|e| e.to_string())?;
+            }
+        }
+        for &va in &pages {
+            m.l2_populate(va).map_err(|e| e.to_string())?;
+        }
+        Ok(NestedRig {
+            m,
+            design,
+            thp,
+            fetch_hits: 0,
+            fallbacks: 0,
+        })
+    }
+
+    /// DMT fetcher coverage ratio so far.
+    pub fn coverage(&self) -> f64 {
+        let total = self.fetch_hits + self.fallbacks;
+        if total == 0 {
+            1.0
+        } else {
+            self.fetch_hits as f64 / total as f64
+        }
+    }
+
+    /// The underlying machine.
+    pub fn machine(&self) -> &NestedMachine {
+        &self.m
+    }
+}
+
+impl Rig for NestedRig {
+    fn design(&self) -> Design {
+        self.design
+    }
+
+    fn env(&self) -> Env {
+        Env::Nested
+    }
+
+    fn thp(&self) -> bool {
+        self.thp
+    }
+
+    fn translate(&mut self, va: VirtAddr, hier: &mut MemoryHierarchy) -> Translation {
+        match self.design {
+            Design::Vanilla => {
+                let out = self.m.translate_baseline(va, hier).expect("populated");
+                Translation {
+                    pa: out.pa,
+                    size: out.guest_size,
+                    cycles: out.cycles,
+                    refs: out.refs(),
+                    fallback: false,
+                }
+            }
+            Design::PvDmt => match self.m.translate_pvdmt(va, hier) {
+                Ok(out) => {
+                    self.fetch_hits += 1;
+                    Translation {
+                        pa: out.pa,
+                        size: out.size,
+                        cycles: out.cycles,
+                        refs: out.refs(),
+                        fallback: false,
+                    }
+                }
+                Err(DmtError::NotCovered { .. }) => {
+                    self.fallbacks += 1;
+                    let out = self.m.translate_baseline(va, hier).expect("populated");
+                    Translation {
+                        pa: out.pa,
+                        size: out.guest_size,
+                        cycles: out.cycles,
+                        refs: out.refs(),
+                        fallback: true,
+                    }
+                }
+                Err(e) => panic!("nested pvDMT fetch failed: {e}"),
+            },
+            _ => unreachable!("design unavailable in nested virtualization"),
+        }
+    }
+
+    fn data_pa(&self, va: VirtAddr) -> PhysAddr {
+        self.m.translate_software(va).expect("populated")
+    }
+
+    fn exits(&self) -> u64 {
+        match self.design {
+            // The baseline pays a shadow sync per L2 fault (plus the
+            // cascaded L1 forwarding, which §5 captures via the exit
+            // *ratio* between nested and single-level virtualization).
+            Design::Vanilla => self.m.faults(),
+            // pvDMT exits only for the cascaded TEA hypercalls.
+            Design::PvDmt => self.m.l2_mappings_count() as u64,
+            _ => 0,
+        }
+    }
+
+    fn faults(&self) -> u64 {
+        self.m.faults()
+    }
+}

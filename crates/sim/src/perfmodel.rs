@@ -1,0 +1,242 @@
+//! The §5 execution-time model and its calibration.
+//!
+//! The paper models target execution time as
+//!
+//! ```text
+//! T_target = O_measured_vanilla × (O_sim_target / O_sim_vanilla) + T_ideal_measured
+//! ```
+//!
+//! The "measured" quantities came from `perf` on the authors' Xeon. We
+//! have no Xeon, so the *fractions* are taken from the paper's own
+//! Figure 4 (documented substitution — see DESIGN.md §1): page-walk
+//! overhead is 21% / 43% / 48% of execution time in native /
+//! virtualized / nested environments on (geometric) average, shadow
+//! paging adds a VM-exit overhead worth ~63% of native time in
+//! single-level virtualization, and nested virtualization's shadow
+//! overhead is that figure scaled by the VM-exit ratio
+//! (`O_shadow_nested = O_shadow_single × N_nested / N_single`).
+//!
+//! Everything *relative* — which design wins and by what factor — comes
+//! from the simulator's `O_sim` ratios and exit counts; the calibration
+//! only anchors the fraction of time translation is worth.
+
+use crate::rig::{Design, Env};
+
+/// Per-workload calibrated fractions (the "measured" side of §5).
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadCalib {
+    /// Workload name.
+    pub name: &'static str,
+    /// Fraction of native execution time spent on page walks.
+    pub pw_native: f64,
+    /// Fraction of virtualized (nested-paging) execution time on walks.
+    pub pw_virt: f64,
+    /// Fraction of nested-virtualized execution time on walks.
+    pub pw_nested: f64,
+    /// Shadow-paging VM-exit overhead in single-level virtualization,
+    /// as a fraction of the *virtualized baseline's* execution time.
+    pub shadow_exit_virt: f64,
+    /// Shadow overhead fraction of the nested baseline's time
+    /// (§5: single-level value scaled by the VM-exit ratio).
+    pub shadow_exit_nested: f64,
+}
+
+/// Figure 4-consistent calibration for the seven benchmarks. Per-workload
+/// values are chosen around the reported averages (21% / 43% / 48% page
+/// walks; shadow ≈ 0.31 of sPT time ≈ 0.63 native units) with the
+/// workloads' relative TLB behaviour (GUPS worst, Canneal/Graph500
+/// mildest).
+pub const CALIBRATION: [WorkloadCalib; 7] = [
+    WorkloadCalib {
+        name: "Redis",
+        pw_native: 0.25,
+        pw_virt: 0.50,
+        pw_nested: 0.55,
+        shadow_exit_virt: 0.42,
+        shadow_exit_nested: 0.31,
+    },
+    WorkloadCalib {
+        name: "Memcached",
+        pw_native: 0.18,
+        pw_virt: 0.38,
+        pw_nested: 0.43,
+        shadow_exit_virt: 0.40,
+        shadow_exit_nested: 0.30,
+    },
+    WorkloadCalib {
+        name: "GUPS",
+        pw_native: 0.35,
+        pw_virt: 0.60,
+        pw_nested: 0.64,
+        shadow_exit_virt: 0.36,
+        shadow_exit_nested: 0.26,
+    },
+    WorkloadCalib {
+        name: "BTree",
+        pw_native: 0.22,
+        pw_virt: 0.45,
+        pw_nested: 0.50,
+        shadow_exit_virt: 0.43,
+        shadow_exit_nested: 0.32,
+    },
+    WorkloadCalib {
+        name: "Canneal",
+        pw_native: 0.15,
+        pw_virt: 0.33,
+        pw_nested: 0.38,
+        shadow_exit_virt: 0.46,
+        shadow_exit_nested: 0.35,
+    },
+    WorkloadCalib {
+        name: "XSBench",
+        pw_native: 0.20,
+        pw_virt: 0.42,
+        pw_nested: 0.47,
+        shadow_exit_virt: 0.44,
+        shadow_exit_nested: 0.33,
+    },
+    WorkloadCalib {
+        name: "Graph500",
+        pw_native: 0.12,
+        pw_virt: 0.30,
+        pw_nested: 0.36,
+        shadow_exit_virt: 0.47,
+        shadow_exit_nested: 0.36,
+    },
+];
+
+/// Look up a workload's calibration.
+pub fn calib_for(name: &str) -> WorkloadCalib {
+    CALIBRATION
+        .iter()
+        .copied()
+        .find(|c| c.name == name)
+        .unwrap_or(WorkloadCalib {
+            name: "generic",
+            pw_native: 0.21,
+            pw_virt: 0.43,
+            pw_nested: 0.48,
+            shadow_exit_virt: 0.43,
+            shadow_exit_nested: 0.32,
+        })
+}
+
+impl WorkloadCalib {
+    /// The page-walk fraction for an environment.
+    pub fn pw_fraction(&self, env: Env) -> f64 {
+        match env {
+            Env::Native => self.pw_native,
+            Env::Virt => self.pw_virt,
+            Env::Nested => self.pw_nested,
+        }
+    }
+
+    /// The exit-overhead fraction *included in the baseline's time* for
+    /// an environment (only nested virtualization's baseline carries
+    /// shadow overhead; the single-level baseline uses nested paging).
+    pub fn baseline_exit_fraction(&self, env: Env) -> f64 {
+        match env {
+            Env::Nested => self.shadow_exit_nested,
+            _ => 0.0,
+        }
+    }
+}
+
+/// Normalized execution time of a design (baseline = 1.0) per §5.
+///
+/// * `walk_ratio` — `O_sim_target / O_sim_vanilla` from the simulator.
+/// * `exit_ratio` — the design's VM exits relative to full shadow
+///   paging's (1.0 = as many exits as shadow paging; 0 = none).
+pub fn normalized_time(calib: &WorkloadCalib, env: Env, walk_ratio: f64, exit_ratio: f64) -> f64 {
+    let f = calib.pw_fraction(env);
+    let e = calib.baseline_exit_fraction(env);
+    let ideal = 1.0 - f - e;
+    let shadow_budget = match env {
+        Env::Native => 0.0,
+        Env::Virt => calib.shadow_exit_virt,
+        Env::Nested => calib.shadow_exit_nested,
+    };
+    ideal + f * walk_ratio + shadow_budget * exit_ratio
+}
+
+/// Application speedup of a design over the environment's baseline.
+pub fn app_speedup(calib: &WorkloadCalib, env: Env, walk_ratio: f64, exit_ratio: f64) -> f64 {
+    1.0 / normalized_time(calib, env, walk_ratio, exit_ratio)
+}
+
+/// The exit ratio a design exhibits: its counted sync/hypercall events
+/// relative to full shadow paging's one-sync-per-fault.
+pub fn exit_ratio(_design: Design, design_exits: u64, faults: u64) -> f64 {
+    if faults == 0 {
+        0.0
+    } else {
+        (design_exits as f64 / faults as f64).min(1.0)
+    }
+}
+
+/// Geometric mean of a non-empty slice.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_matches_figure4_averages() {
+        let native = geomean(&CALIBRATION.map(|c| c.pw_native));
+        let virt = geomean(&CALIBRATION.map(|c| c.pw_virt));
+        let nested = geomean(&CALIBRATION.map(|c| c.pw_nested));
+        assert!((native - 0.21).abs() < 0.03, "native avg {native}");
+        assert!((virt - 0.43).abs() < 0.03, "virt avg {virt}");
+        assert!((nested - 0.48).abs() < 0.03, "nested avg {nested}");
+    }
+
+    #[test]
+    fn baseline_is_unity() {
+        for c in &CALIBRATION {
+            for env in [Env::Native, Env::Virt, Env::Nested] {
+                let e0 = if env == Env::Nested { 1.0 } else { 0.0 };
+                let t = normalized_time(c, env, 1.0, e0);
+                assert!((t - 1.0).abs() < 1e-9, "{} {env:?}: {t}", c.name);
+            }
+        }
+    }
+
+    #[test]
+    fn faster_walks_mean_speedup() {
+        let c = calib_for("GUPS");
+        let s = app_speedup(&c, Env::Virt, 1.0 / 1.58, 0.0);
+        assert!(s > 1.15 && s < 1.45, "speedup {s}");
+        // Walk ratio 1.0 with no exits = no change in a virt env.
+        assert!((app_speedup(&c, Env::Virt, 1.0, 0.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn removing_nested_shadow_overhead_dominates() {
+        // The paper's headline: pvDMT barely speeds up nested page walks
+        // at 4 KiB (1.02x) yet gains 1.48x end-to-end by killing exits.
+        let speedups: Vec<f64> = CALIBRATION
+            .iter()
+            .map(|c| app_speedup(c, Env::Nested, 1.0 / 1.02, 0.0))
+            .collect();
+        let g = geomean(&speedups);
+        assert!((1.35..1.65).contains(&g), "nested speedup {g}");
+    }
+
+    #[test]
+    fn unknown_workload_gets_averages() {
+        let c = calib_for("something-else");
+        assert!((c.pw_native - 0.21).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+}

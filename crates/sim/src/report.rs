@@ -1,0 +1,167 @@
+//! Minimal fixed-width ASCII table rendering for experiment output.
+
+use core::fmt;
+
+/// A printable table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+    /// Optional title printed above.
+    pub title: String,
+}
+
+impl Table {
+    /// New table with a title and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+            title: title.into(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+        self
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        if !self.title.is_empty() {
+            writeln!(f, "{}", self.title)?;
+        }
+        let line = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            for w in &widths {
+                write!(f, "+{}", "-".repeat(w + 2))?;
+            }
+            writeln!(f, "+")
+        };
+        line(f)?;
+        for (i, h) in self.headers.iter().enumerate() {
+            write!(f, "| {:<width$} ", h, width = widths[i])?;
+        }
+        writeln!(f, "|")?;
+        line(f)?;
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                write!(f, "| {:<width$} ", c, width = widths[i])?;
+            }
+            writeln!(f, "|")?;
+        }
+        line(f)
+    }
+}
+
+impl Table {
+    /// Render as CSV (header row + data rows), for plotting.
+    pub fn to_csv(&self) -> String {
+        let esc = |c: &str| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&r.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write the CSV rendering to `results/<name>.csv`, creating the
+    /// directory as needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_csv(&self, name: &str) -> std::io::Result<std::path::PathBuf> {
+        let dir = std::path::Path::new("results");
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        std::fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+}
+
+/// Format a float to two decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Format a float as a multiplier ("1.58x").
+pub fn speedup(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Format a fraction as a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.row(vec!["alpha".into(), "1".into()]);
+        t.row(vec!["b".into(), "12345".into()]);
+        let s = t.to_string();
+        assert!(s.contains("Demo"));
+        assert!(s.contains("| alpha |"));
+        // All lines between borders have equal width.
+        let widths: std::collections::HashSet<usize> =
+            s.lines().skip(1).map(|l| l.len()).collect();
+        assert_eq!(widths.len(), 1, "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_rendering_escapes() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["plain".into(), "with,comma".into()]);
+        t.row(vec!["quote\"d".into(), "y".into()]);
+        let csv = t.to_csv();
+        assert_eq!(
+            csv,
+            "a,b\nplain,\"with,comma\"\n\"quote\"\"d\",y\n"
+        );
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f2(1.234), "1.23");
+        assert_eq!(speedup(1.5), "1.50x");
+        assert_eq!(pct(0.421), "42.1%");
+    }
+}

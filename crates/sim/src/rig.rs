@@ -1,0 +1,245 @@
+//! Common vocabulary for the evaluation: environments, translation
+//! designs, and the [`Rig`] trait every design-under-test implements.
+
+use dmt_cache::hierarchy::MemoryHierarchy;
+use dmt_mem::{PageSize, PhysAddr, VirtAddr};
+use dmt_workloads::gen::{Access, Region};
+
+/// Deployment environment (the paper's three columns of Table 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Env {
+    /// Bare metal.
+    Native,
+    /// Single-level virtualization.
+    Virt,
+    /// Nested virtualization (L2 on L1 on L0).
+    Nested,
+}
+
+impl Env {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Env::Native => "Native",
+            Env::Virt => "Virtualized",
+            Env::Nested => "NestedVirt",
+        }
+    }
+}
+
+/// Translation design under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Design {
+    /// Radix walk (Linux / KVM nested paging).
+    Vanilla,
+    /// Shadow paging (virtualized only).
+    Shadow,
+    /// Flattened page tables.
+    Fpt,
+    /// Elastic cuckoo page tables.
+    Ecpt,
+    /// Agile paging (virtualized only).
+    Agile,
+    /// ASAP PTE prefetching over the radix walk.
+    Asap,
+    /// DMT without paravirtualization.
+    Dmt,
+    /// DMT with paravirtualization (pvDMT). In native mode identical to
+    /// [`Design::Dmt`].
+    PvDmt,
+}
+
+impl Design {
+    /// Display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Design::Vanilla => "Vanilla",
+            Design::Shadow => "Shadow",
+            Design::Fpt => "FPT",
+            Design::Ecpt => "ECPT",
+            Design::Agile => "Agile",
+            Design::Asap => "ASAP",
+            Design::Dmt => "DMT",
+            Design::PvDmt => "pvDMT",
+        }
+    }
+
+    /// Whether the design exists in the given environment (Table 6's
+    /// N/A cells).
+    pub fn available_in(self, env: Env) -> bool {
+        match env {
+            Env::Native => !matches!(self, Design::Shadow | Design::Agile),
+            Env::Virt => true,
+            Env::Nested => matches!(self, Design::Vanilla | Design::PvDmt),
+        }
+    }
+}
+
+/// One completed translation, as the engine sees it.
+#[derive(Debug, Clone, Copy)]
+pub struct Translation {
+    /// Final physical address.
+    pub pa: PhysAddr,
+    /// Page size installed in the TLB.
+    pub size: PageSize,
+    /// Cycles the translation cost.
+    pub cycles: u64,
+    /// Sequential memory references performed.
+    pub refs: u64,
+    /// Whether a DMT design fell back to the hardware walker.
+    pub fallback: bool,
+}
+
+/// A design-under-test: owns all machine state and serves translations.
+pub trait Rig {
+    /// The design.
+    fn design(&self) -> Design;
+
+    /// The environment.
+    fn env(&self) -> Env;
+
+    /// Whether THP is active.
+    fn thp(&self) -> bool;
+
+    /// Serve a translation for `va`, charging `hier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `va` was never populated (the engine populates every
+    /// region during setup).
+    fn translate(&mut self, va: VirtAddr, hier: &mut MemoryHierarchy) -> Translation;
+
+    /// Software ground-truth translation (for charging the data access
+    /// itself without involving the translation machinery).
+    fn data_pa(&self, va: VirtAddr) -> PhysAddr;
+
+    /// VM exits attributable to this design during setup + run (shadow
+    /// syncs, hypercalls); used by the §5 execution-time model.
+    fn exits(&self) -> u64 {
+        0
+    }
+
+    /// Page faults served during setup (normalizes exit ratios).
+    fn faults(&self) -> u64 {
+        0
+    }
+}
+
+/// Cluster a workload's regions for `mmap`-time TEA creation, the way
+/// DMT-Linux clusters adjacent VMAs (§4.2.1): merge regions whose
+/// table-span-rounded TEA coverages would overlap (mandatory — two
+/// mappings must never own one table page) or whose bubbles stay within
+/// the 2% budget.
+pub fn cluster_regions(regions: &[Region], thp: bool) -> Vec<(VirtAddr, u64)> {
+    // The coarsest table span in play decides rounding: 2 MiB spans for
+    // 4 KiB TEAs, 1 GiB spans when THP adds 2 MiB TEAs.
+    let span = if thp {
+        512 * PageSize::Size2M.bytes()
+    } else {
+        512 * PageSize::Size4K.bytes()
+    };
+    let mut spans: Vec<(u64, u64)> = regions.iter().map(|r| (r.base.raw(), r.len)).collect();
+    spans.sort_unstable();
+    let mut out: Vec<(u64, u64)> = Vec::new();
+    for (base, len) in spans {
+        match out.last_mut() {
+            Some((cb, cl)) => {
+                let cur_end_rounded = (*cb + *cl).div_ceil(span) * span;
+                let new_start_rounded = base / span * span;
+                let gap = base.saturating_sub(*cb + *cl);
+                let overlap = new_start_rounded < cur_end_rounded;
+                let small_bubble =
+                    gap as f64 / (base + len - *cb) as f64 <= 0.02;
+                if overlap || small_bubble {
+                    *cl = (base + len) - *cb;
+                } else {
+                    out.push((base, len));
+                }
+            }
+            None => out.push((base, len)),
+        }
+    }
+    out.into_iter().map(|(b, l)| (VirtAddr(b), l)).collect()
+}
+
+/// The unique 4 KiB page bases a trace touches, sorted. Population and
+/// auxiliary-table construction are driven by this set, so setup cost
+/// scales with the trace rather than the (multi-GiB) footprint.
+pub fn touched_pages(trace: &[Access]) -> Vec<VirtAddr> {
+    let mut pages: Vec<u64> = trace
+        .iter()
+        .map(|a| a.va.align_down(PageSize::Size4K).raw())
+        .collect();
+    pages.sort_unstable();
+    pages.dedup();
+    pages.into_iter().map(VirtAddr).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmt_workloads::gen::Access;
+
+    fn region(base: u64, len: u64) -> Region {
+        Region {
+            base: VirtAddr(base),
+            len,
+            label: "r",
+        }
+    }
+
+    #[test]
+    fn touched_pages_dedups_and_sorts() {
+        let trace = vec![
+            Access::read(VirtAddr(0x5000)),
+            Access::read(VirtAddr(0x1234)),
+            Access::read(VirtAddr(0x5fff)),
+            Access::write(VirtAddr(0x1000)),
+        ];
+        assert_eq!(
+            touched_pages(&trace),
+            vec![VirtAddr(0x1000), VirtAddr(0x5000)]
+        );
+        assert!(touched_pages(&[]).is_empty());
+    }
+
+    #[test]
+    fn overlapping_rounded_coverage_forces_merge() {
+        // Two regions 8 KiB apart: their 2 MiB-rounded TEA coverages
+        // overlap, so they must merge regardless of bubble budget.
+        let rs = [region(0, 4 << 20), region((4 << 20) + 8192, 4 << 20)];
+        let c = cluster_regions(&rs, false);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].0, VirtAddr(0));
+        assert_eq!(c[0].1, (8 << 20) + 8192);
+    }
+
+    #[test]
+    fn distant_regions_stay_apart() {
+        let rs = [region(0, 4 << 20), region(1 << 40, 4 << 20)];
+        assert_eq!(cluster_regions(&rs, false).len(), 2);
+        // THP rounding (1 GiB spans) merges anything within a span.
+        let rs = [region(0, 4 << 20), region(512 << 20, 4 << 20)];
+        assert_eq!(cluster_regions(&rs, true).len(), 1);
+        assert_eq!(cluster_regions(&rs, false).len(), 2);
+    }
+
+    #[test]
+    fn small_bubbles_merge_per_paper_rule() {
+        // 1 MiB gap over a ~104 MiB span: < 2% bubbles.
+        let rs = [region(0, 100 << 20), region(101 << 20, 4 << 20)];
+        assert_eq!(cluster_regions(&rs, false).len(), 1);
+        // 10 MiB gap over ~50 MiB: way past the budget (and rounded
+        // coverages don't touch).
+        let rs = [region(0, 20 << 20), region(30 << 20, 20 << 20)];
+        assert_eq!(cluster_regions(&rs, false).len(), 2);
+    }
+
+    #[test]
+    fn unsorted_regions_are_handled() {
+        let rs = [region(1 << 40, 4 << 20), region(0, 4 << 20)];
+        let c = cluster_regions(&rs, false);
+        assert_eq!(c.len(), 2);
+        assert!(c[0].0 < c[1].0, "output sorted by base");
+    }
+}

@@ -1,0 +1,244 @@
+//! The `KVM_HC_ALLOC_TEA` hypercall (§4.5.1, §4.6.2).
+//!
+//! pvDMT requires gTEAs to be contiguous in *host* physical memory, so
+//! guests cannot allocate them locally. The guest instead passes an array
+//! of requested gTEAs to the host; the host allocates contiguous host
+//! regions (splitting a request when contiguity is unavailable), registers
+//! each region in the per-VM gTEA table, and maps the pages into the
+//! guest's physical space (`vm_insert_pages`) so the guest can write PTEs
+//! without further VM exits. Exactly one VM exit per hypercall.
+
+use crate::vm::Vm;
+use crate::VirtError;
+use dmt_core::gtea::GteaTable;
+use dmt_core::vtmap::VmaTeaMapping;
+use dmt_mem::buddy::FrameKind;
+use dmt_mem::{MemError, PageSize, Pfn, PhysMemory, VirtAddr};
+
+/// Fixed hypercall overhead (context switch + KVM handling, excluding
+/// memory allocation) in cycles: the paper measures 1.88 µs in a VM,
+/// ≈ 3 760 cycles at the 2 GHz of the modeled Xeon Gold 6138 (§6.3).
+pub const HYPERCALL_BASE_CYCLES: u64 = 3_760;
+
+/// The same overhead under nested virtualization: 10.75 µs ≈ 21 500
+/// cycles (§6.3) — exits are costlier when they cascade through L1.
+pub const NESTED_HYPERCALL_BASE_CYCLES: u64 = 21_500;
+
+/// One requested gTEA: a guest VMA region needing direct translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TeaRequest {
+    /// Guest-virtual base of the VMA (or cluster).
+    pub base: VirtAddr,
+    /// Length in bytes.
+    pub len: u64,
+    /// Page size whose PTEs the gTEA will hold.
+    pub size: PageSize,
+}
+
+/// One granted gTEA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TeaGrant {
+    /// The guest-register-ready mapping: gTEA ID attached, `tea_base`
+    /// holding the *guest-physical* frame where the host mapped the TEA
+    /// pages (so the guest can install them as its table pages).
+    pub mapping: VmaTeaMapping,
+    /// Host-physical base of the gTEA (host bookkeeping; never exposed to
+    /// the guest).
+    pub host_base: Pfn,
+}
+
+/// Hypercall accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HypercallStats {
+    /// Hypercalls (VM exits) issued.
+    pub calls: u64,
+    /// Requests that had to be split for contiguity.
+    pub splits: u64,
+    /// Total gTEA frames granted.
+    pub frames_granted: u64,
+}
+
+/// Host-side handler for `KVM_HC_ALLOC_TEA`.
+///
+/// Takes the request array, returns the granted mappings (possibly more
+/// than one per request after splitting). Returns an empty grant list for
+/// a request only when no TEA can be allocated at all, mirroring the
+/// paper's "returns an empty array if no TEA can be allocated".
+///
+/// # Errors
+///
+/// Only fails on internal inconsistencies (e.g. the guest address space
+/// cannot absorb the inserted pages).
+pub fn kvm_hc_alloc_tea(
+    pm: &mut PhysMemory,
+    vm: &mut Vm,
+    gtea_table: &mut GteaTable,
+    requests: &[TeaRequest],
+    stats: &mut HypercallStats,
+) -> Result<Vec<TeaGrant>, VirtError> {
+    stats.calls += 1;
+    let mut grants = Vec::new();
+    for req in requests {
+        let proto = VmaTeaMapping::new(req.base, req.len, req.size, Pfn(0));
+        alloc_recursive(pm, vm, gtea_table, proto, stats, &mut grants)?;
+    }
+    Ok(grants)
+}
+
+fn alloc_recursive(
+    pm: &mut PhysMemory,
+    vm: &mut Vm,
+    gtea_table: &mut GteaTable,
+    proto: VmaTeaMapping,
+    stats: &mut HypercallStats,
+    grants: &mut Vec<TeaGrant>,
+) -> Result<(), VirtError> {
+    let frames = proto.tea_frames();
+    match pm.alloc_contig(frames, FrameKind::Tea) {
+        Ok(host_base) => {
+            let id = gtea_table.register(host_base, frames);
+            let gpa = vm.insert_host_pages(pm, host_base, frames)?;
+            let mapping = VmaTeaMapping::new(
+                proto.base(),
+                proto.covered_bytes(),
+                proto.page_size(),
+                gpa.pfn(),
+            )
+            .with_gtea_id(id);
+            stats.frames_granted += frames;
+            grants.push(TeaGrant { mapping, host_base });
+            Ok(())
+        }
+        Err(MemError::NoContiguousRun { .. }) => match proto.split(Pfn(0)) {
+            Some((lo, hi)) => {
+                stats.splits += 1;
+                alloc_recursive(pm, vm, gtea_table, lo, stats, grants)?;
+                alloc_recursive(pm, vm, gtea_table, hi, stats, grants)
+            }
+            None => Ok(()), // cannot satisfy: grant nothing for this piece
+        },
+        Err(e) => Err(VirtError::Mem(e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grant_registers_and_inserts() {
+        let mut pm = PhysMemory::new_bytes(64 << 20);
+        let mut vm = Vm::new(&mut pm, 8 << 20, PageSize::Size4K).unwrap();
+        let mut table = GteaTable::new();
+        let mut stats = HypercallStats::default();
+        let grants = kvm_hc_alloc_tea(
+            &mut pm,
+            &mut vm,
+            &mut table,
+            &[TeaRequest {
+                base: VirtAddr(0x7f00_0000_0000),
+                len: 8 << 20,
+                size: PageSize::Size4K,
+            }],
+            &mut stats,
+        )
+        .unwrap();
+        assert_eq!(grants.len(), 1);
+        let g = &grants[0];
+        let id = g.mapping.gtea_id().unwrap();
+        // The gTEA table resolves to the host base.
+        assert_eq!(
+            table.resolve(id, 0).unwrap(),
+            dmt_mem::PhysAddr::from_pfn(g.host_base)
+        );
+        // The guest sees the same memory at the granted gPA.
+        assert_eq!(
+            vm.gpa_to_hpa(dmt_mem::PhysAddr(g.mapping.tea_base().0 << 12)),
+            Some(dmt_mem::PhysAddr::from_pfn(g.host_base))
+        );
+        assert_eq!(stats.calls, 1);
+        assert_eq!(stats.frames_granted, 4); // 8 MiB / 2 MiB spans
+    }
+
+    #[test]
+    fn fragmented_host_splits_grants() {
+        let mut pm = PhysMemory::new_bytes(32 << 20);
+        let mut vm = Vm::new(&mut pm, 4 << 20, PageSize::Size4K).unwrap();
+        // Shatter remaining host memory into <4-frame runs.
+        let mut held = Vec::new();
+        while pm.buddy().free_frames() > 0 {
+            held.push(pm.alloc_frame(FrameKind::PageTable).unwrap());
+        }
+        held.sort();
+        for (i, f) in held.iter().enumerate() {
+            if i % 2 == 0 {
+                pm.free_frame(*f).unwrap();
+            }
+        }
+        let mut table = GteaTable::new();
+        let mut stats = HypercallStats::default();
+        let grants = kvm_hc_alloc_tea(
+            &mut pm,
+            &mut vm,
+            &mut table,
+            &[TeaRequest {
+                base: VirtAddr(0),
+                len: 8 << 20, // needs 4 contiguous TEA frames
+                size: PageSize::Size4K,
+            }],
+            &mut stats,
+        )
+        .unwrap();
+        assert!(grants.len() > 1, "split into {} grants", grants.len());
+        assert!(stats.splits > 0);
+        // The grants partition the coverage.
+        let total: u64 = grants.iter().map(|g| g.mapping.covered_bytes()).sum();
+        assert_eq!(total, 8 << 20);
+    }
+
+    #[test]
+    fn unsatisfiable_request_returns_empty_grants() {
+        // Exhaust host memory down to sub-frame runs: the hypercall
+        // returns an empty array, per §4.5.1.
+        let mut pm = PhysMemory::new_bytes(32 << 20);
+        let mut vm = Vm::new(&mut pm, 4 << 20, PageSize::Size4K).unwrap();
+        while pm.buddy().free_frames() > 0 {
+            pm.alloc_frame(FrameKind::PageTable).unwrap();
+        }
+        let mut table = GteaTable::new();
+        let mut stats = HypercallStats::default();
+        let grants = kvm_hc_alloc_tea(
+            &mut pm,
+            &mut vm,
+            &mut table,
+            &[TeaRequest {
+                base: VirtAddr(0x7f00_0000_0000),
+                len: 64 << 20,
+                size: PageSize::Size4K,
+            }],
+            &mut stats,
+        )
+        .unwrap();
+        assert!(grants.is_empty(), "no TEA can be allocated");
+        assert_eq!(table.len(), 0);
+        assert_eq!(stats.calls, 1, "the exit still happened");
+    }
+
+    #[test]
+    fn one_exit_per_hypercall_not_per_request() {
+        let mut pm = PhysMemory::new_bytes(64 << 20);
+        let mut vm = Vm::new(&mut pm, 4 << 20, PageSize::Size4K).unwrap();
+        let mut table = GteaTable::new();
+        let mut stats = HypercallStats::default();
+        let reqs: Vec<TeaRequest> = (0..5)
+            .map(|i| TeaRequest {
+                base: VirtAddr((0x100 + i) << 30),
+                len: 2 << 20,
+                size: PageSize::Size4K,
+            })
+            .collect();
+        kvm_hc_alloc_tea(&mut pm, &mut vm, &mut table, &reqs, &mut stats).unwrap();
+        assert_eq!(stats.calls, 1, "batched requests share one VM exit");
+        assert_eq!(table.len(), 5);
+    }
+}

@@ -1,0 +1,121 @@
+//! The workload abstraction: memory regions plus an access-trace
+//! generator.
+//!
+//! Every benchmark of Table 4 implements [`Workload`]: it declares the
+//! VMAs a real run would `mmap` and yields a deterministic, seeded stream
+//! of virtual-address accesses whose *pattern* (locality, stride,
+//! pointer-chasing depth, skew) matches the real application. Footprints
+//! are scaled down from the paper's 62–155 GB to hundreds of MiB — far
+//! beyond TLB/PWC/LLC reach, which is the property that matters (see
+//! DESIGN.md §1).
+
+use dmt_mem::VirtAddr;
+use rand::rngs::SmallRng;
+
+/// One memory access in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// The virtual address touched.
+    pub va: VirtAddr,
+    /// Whether the access is a store.
+    pub write: bool,
+}
+
+impl Access {
+    /// A load.
+    pub fn read(va: VirtAddr) -> Access {
+        Access { va, write: false }
+    }
+
+    /// A store.
+    pub fn write(va: VirtAddr) -> Access {
+        Access { va, write: true }
+    }
+}
+
+/// A memory region the workload maps at startup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// Base virtual address (table-span aligned for clean TEA layouts).
+    pub base: VirtAddr,
+    /// Length in bytes.
+    pub len: u64,
+    /// Human-readable label ("heap", "slab-3", ...).
+    pub label: &'static str,
+}
+
+/// A benchmark: regions + a trace generator.
+pub trait Workload {
+    /// Benchmark name as it appears in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// The VMAs to map before the trace runs.
+    fn regions(&self) -> Vec<Region>;
+
+    /// Append `n` accesses to `out` using the workload's access pattern.
+    /// Deterministic for a given `rng` state.
+    fn generate(&self, n: usize, rng: &mut SmallRng, out: &mut Vec<Access>);
+
+    /// Convenience: a fresh trace of `n` accesses from a seed.
+    fn trace(&self, n: usize, seed: u64) -> Vec<Access> {
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut out = Vec::with_capacity(n);
+        self.generate(n, &mut rng, &mut out);
+        out
+    }
+
+    /// Total mapped bytes.
+    fn footprint(&self) -> u64 {
+        self.regions().iter().map(|r| r.len).sum()
+    }
+}
+
+/// Zipf-like rank sampler over `n` items with skew `theta` in (0, 1).
+///
+/// Uses the standard approximation `rank = n * u^(1/(1-theta))`, which is
+/// cheap, deterministic and monotone in skew — adequate for cache-shape
+/// fidelity (exact Zipf normalization constants don't change miss
+/// curves).
+pub fn zipf_rank(rng: &mut SmallRng, n: u64, theta: f64) -> u64 {
+    use rand::Rng;
+    let u: f64 = rng.gen_range(0.0f64..1.0).max(1e-12);
+    let r = (n as f64 * u.powf(1.0 / (1.0 - theta))) as u64;
+    r.min(n - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_is_skewed_and_bounded() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let n = 10_000u64;
+        let mut lows = 0;
+        for _ in 0..10_000 {
+            let r = zipf_rank(&mut rng, n, 0.8);
+            assert!(r < n);
+            if r < n / 100 {
+                lows += 1;
+            }
+        }
+        // With theta=0.8 far more than 1% of draws land in the top 1%.
+        assert!(lows > 1_000, "lows = {lows}");
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_near_uniform() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let n = 1_000u64;
+        let mut lows = 0;
+        for _ in 0..10_000 {
+            if zipf_rank(&mut rng, n, 1e-9) < n / 10 {
+                lows += 1;
+            }
+        }
+        // Roughly 10% +- noise.
+        assert!((700..1400).contains(&lows), "lows = {lows}");
+    }
+}

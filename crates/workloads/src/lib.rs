@@ -1,0 +1,23 @@
+//! Workloads for the DMT evaluation: the seven benchmarks of Table 4 as
+//! synthetic access-pattern generators ([`bench7`]), the generic workload
+//! trait and trace primitives ([`gen`]), and the VMA-layout synthesizer
+//! and characterization behind Table 1 / Figure 5 ([`vma_profile`]).
+//!
+//! # Example
+//!
+//! ```
+//! use dmt_workloads::bench7::Gups;
+//! use dmt_workloads::gen::Workload;
+//! let gups = Gups { table_bytes: 64 << 20 };
+//! let trace = gups.trace(1000, 42);
+//! assert_eq!(trace.len(), 1000);
+//! assert!(trace.iter().all(|a| a.write));
+//! ```
+
+pub mod bench7;
+pub mod gen;
+pub mod vma_profile;
+
+pub use bench7::{all_benchmarks, BTree, Canneal, Graph500, Gups, Memcached, Redis, XsBench};
+pub use gen::{Access, Region, Workload};
+pub use vma_profile::{benchmark_layouts, characterize, VmaCharacteristics, VmaLayout};

@@ -1,0 +1,14 @@
+//! Facade crate re-exporting the entire DMT workspace.
+//!
+//! See the crate-level docs of the member crates for details; `README.md`
+//! and `DESIGN.md` give the tour.
+
+pub use dmt_baselines as baselines;
+pub use dmt_cache as cache;
+pub use dmt_core as core;
+pub use dmt_mem as mem;
+pub use dmt_os as os;
+pub use dmt_pgtable as pgtable;
+pub use dmt_sim as sim;
+pub use dmt_virt as virt;
+pub use dmt_workloads as workloads;
