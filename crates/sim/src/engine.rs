@@ -11,9 +11,15 @@ use crate::rig::Rig;
 use dmt_cache::hierarchy::MemoryHierarchy;
 use dmt_cache::tlb::Tlb;
 use dmt_workloads::gen::Access;
+use std::borrow::Borrow;
 
 /// Aggregated run statistics.
-#[derive(Debug, Clone, Copy, Default)]
+///
+/// `Eq` is derived deliberately: the sweep driver's determinism test
+/// compares parallel and serial runs field-for-field, so nothing
+/// wall-clock-dependent may ever live here (timing belongs in
+/// [`SweepRow`](crate::sweep::SweepRow)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RunStats {
     /// Accesses measured (after warmup).
     pub accesses: u64,
@@ -69,11 +75,20 @@ impl RunStats {
 
 /// Run `trace` through the rig. The first `warmup` accesses warm the TLB
 /// and caches; statistics cover the remainder.
-pub fn run(rig: &mut dyn Rig, trace: &[Access], warmup: usize) -> RunStats {
+///
+/// The trace is any stream of accesses — a `&[Access]` slice, a
+/// `Vec<Access>`, or a streaming decoder yielding owned `Access`es — so
+/// replays never need to materialize a disk-scale trace in memory.
+pub fn run<I>(rig: &mut dyn Rig, trace: I, warmup: usize) -> RunStats
+where
+    I: IntoIterator,
+    I::Item: Borrow<Access>,
+{
     let mut tlb = Tlb::default();
     let mut hier = MemoryHierarchy::default();
     let mut stats = RunStats::default();
-    for (i, a) in trace.iter().enumerate() {
+    for (i, a) in trace.into_iter().enumerate() {
+        let a = a.borrow();
         let measured = i >= warmup;
         match tlb.lookup_any(a.va) {
             Some(_) => {}

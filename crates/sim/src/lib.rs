@@ -12,7 +12,9 @@
 //! * [`overheads`] — the §6.3 management/hypercall/memory overheads.
 //! * [`ablation`] — design-choice sweeps (register count, bubble
 //!   threshold, register policy, eager allocation).
-//! * [`report`] — ASCII tables.
+//! * [`sweep`] — parallel (env × design × THP × benchmark) sweeps with
+//!   JSON reports.
+//! * [`report`] — ASCII tables and the hand-rolled JSON value.
 //!
 //! # Example
 //!
@@ -36,8 +38,10 @@ pub mod overheads;
 pub mod perfmodel;
 pub mod report;
 pub mod rig;
+pub mod sweep;
 pub mod virt_rig;
 
 pub use engine::{run, RunStats};
 pub use experiments::{fig14, fig15, fig16, fig17, table5, table6, Scale};
-pub use rig::{Design, Env, Rig, Translation};
+pub use rig::{Design, Env, Rig, Setup, Translation};
+pub use sweep::{sweep, sweep_serial, SweepConfig, SweepReport, SweepRow};

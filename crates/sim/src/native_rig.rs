@@ -69,10 +69,21 @@ impl NativeRig {
         workload: &dyn Workload,
         trace: &[dmt_workloads::gen::Access],
     ) -> Result<Self, String> {
+        Self::with_setup(design, thp, &crate::rig::Setup::of_workload(workload, trace))
+    }
+
+    /// Build the machine from a [`Setup`](crate::rig::Setup) — regions
+    /// plus touched pages — with no workload generator in sight (the
+    /// trace-replay path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates setup failures as strings.
+    pub fn with_setup(design: Design, thp: bool, setup: &crate::rig::Setup) -> Result<Self, String> {
         assert!(design.available_in(Env::Native), "{design:?} has no native mode");
-        let footprint = workload.footprint();
+        let footprint = setup.footprint();
         // Only touched pages are materialized; the rest is metadata.
-        let pages = crate::rig::touched_pages(trace);
+        let pages = &setup.pages;
         let touched_bytes = (pages.len() as u64) << (if thp { 21 } else { 12 });
         let mut pm = PhysMemory::new_bytes(
             touched_bytes * 2 + footprint / 256 + (512 << 20),
@@ -86,12 +97,12 @@ impl NativeRig {
         }
         .map_err(|e| e.to_string())?;
 
-        for r in workload.regions() {
+        for r in &setup.regions {
             proc_
                 .mmap(&mut pm, r.base, r.len, VmaKind::Heap)
                 .map_err(|e| format!("mmap {}: {e}", r.label))?;
         }
-        for &va in &pages {
+        for &va in pages {
             proc_
                 .populate(&mut pm, va)
                 .map_err(|e| format!("populate {va}: {e}"))?;
@@ -109,7 +120,7 @@ impl NativeRig {
         match design {
             Design::Fpt => {
                 let mut t = FlatPageTable::new_host(&mut pm).map_err(|e| e.to_string())?;
-                for (va, pa, size) in Self::collect_mappings(&pm, &proc_, &pages)? {
+                for (va, pa, size) in Self::collect_mappings(&pm, &proc_, pages)? {
                     t.map(&mut pm, va, pa, size, |pm, frames| {
                         pm.alloc_contig(frames, FrameKind::PageTable)
                     })
@@ -118,7 +129,7 @@ impl NativeRig {
                 fpt = Some(t);
             }
             Design::Ecpt => {
-                let mappings = Self::collect_mappings(&pm, &proc_, &pages)?;
+                let mappings = Self::collect_mappings(&pm, &proc_, pages)?;
                 let n2m = mappings
                     .iter()
                     .filter(|(_, _, s)| *s == PageSize::Size2M)

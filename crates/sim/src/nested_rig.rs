@@ -31,9 +31,20 @@ impl NestedRig {
         workload: &dyn Workload,
         trace: &[dmt_workloads::gen::Access],
     ) -> Result<Self, String> {
+        Self::with_setup(design, thp, &crate::rig::Setup::of_workload(workload, trace))
+    }
+
+    /// Build the machine from a [`Setup`](crate::rig::Setup) — regions
+    /// plus touched pages — with no workload generator in sight (the
+    /// trace-replay path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates setup failures as strings.
+    pub fn with_setup(design: Design, thp: bool, setup: &crate::rig::Setup) -> Result<Self, String> {
         assert!(design.available_in(Env::Nested));
-        let footprint = workload.footprint();
-        let pages = crate::rig::touched_pages(trace);
+        let footprint = setup.footprint();
+        let pages = &setup.pages;
         let touched_bytes = (pages.len() as u64) << (if thp { 21 } else { 12 });
         let l2_bytes = footprint + (96 << 20);
         let l1_bytes = l2_bytes + (64 << 20);
@@ -41,11 +52,11 @@ impl NestedRig {
         let mut m =
             NestedMachine::new(l0_bytes, l1_bytes, l2_bytes, thp).map_err(|e| e.to_string())?;
         if design == Design::PvDmt {
-            for (base, len) in crate::rig::cluster_regions(&workload.regions(), thp) {
+            for (base, len) in crate::rig::cluster_regions(&setup.regions, thp) {
                 m.l2_mmap(base, len).map_err(|e| e.to_string())?;
             }
         }
-        for &va in &pages {
+        for &va in pages {
             m.l2_populate(va).map_err(|e| e.to_string())?;
         }
         Ok(NestedRig {

@@ -106,6 +106,125 @@ impl Table {
     }
 }
 
+/// A hand-rolled JSON value for machine-readable reports (the workspace
+/// is dependency-free, so no serde). Object keys keep insertion order —
+/// reports diff cleanly run to run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer (no float formatting noise for counters).
+    U64(u64),
+    /// A float; non-finite values serialize as `null` (JSON has no NaN).
+    F64(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An object builder seeded empty.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Insert a key (objects only).
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a non-object.
+    pub fn set(mut self, key: &str, value: Json) -> Json {
+        match &mut self {
+            Json::Obj(fields) => fields.push((key.to_string(), value)),
+            _ => panic!("set on non-object"),
+        }
+        self
+    }
+}
+
+/// Escape a string for embedding in JSON.
+fn json_escape(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.render(&mut s, 0);
+        f.write_str(&s)
+    }
+}
+
+impl Json {
+    fn render(&self, out: &mut String, indent: usize) {
+        let pad = |out: &mut String, n: usize| {
+            for _ in 0..n {
+                out.push_str("  ");
+            }
+        };
+        match self {
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(v) => out.push_str(&v.to_string()),
+            Json::F64(v) if v.is_finite() => out.push_str(&format!("{v}")),
+            Json::F64(_) => out.push_str("null"),
+            Json::Str(s) => json_escape(s, out),
+            Json::Arr(items) if items.is_empty() => out.push_str("[]"),
+            Json::Arr(items) => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    pad(out, indent + 1);
+                    item.render(out, indent + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                pad(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) if fields.is_empty() => out.push_str("{}"),
+            Json::Obj(fields) => {
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    pad(out, indent + 1);
+                    json_escape(k, out);
+                    out.push_str(": ");
+                    v.render(out, indent + 1);
+                    out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+                }
+                pad(out, indent);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Write the rendering to `results/<name>.json`, creating the
+    /// directory as needed (the JSON sibling of [`Table::write_csv`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_json(&self, name: &str) -> std::io::Result<std::path::PathBuf> {
+        let dir = std::path::Path::new("results");
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.json"));
+        std::fs::write(&path, format!("{self}\n"))?;
+        Ok(path)
+    }
+}
+
 /// Format a float to two decimals.
 pub fn f2(x: f64) -> String {
     format!("{x:.2}")
@@ -163,5 +282,31 @@ mod tests {
         assert_eq!(f2(1.234), "1.23");
         assert_eq!(speedup(1.5), "1.50x");
         assert_eq!(pct(0.421), "42.1%");
+    }
+
+    #[test]
+    fn json_renders_ordered_and_escaped() {
+        let j = Json::obj()
+            .set("name", Json::Str("a\"b\n".into()))
+            .set("count", Json::U64(3))
+            .set("ratio", Json::F64(0.5))
+            .set("flag", Json::Bool(true))
+            .set("items", Json::Arr(vec![Json::U64(1), Json::U64(2)]))
+            .set("empty", Json::Arr(vec![]))
+            .set("nan", Json::F64(f64::NAN));
+        let s = j.to_string();
+        // Keys render in insertion order.
+        let order: Vec<usize> = ["\"name\"", "\"count\"", "\"ratio\"", "\"flag\""]
+            .iter()
+            .map(|k| s.find(k).unwrap())
+            .collect();
+        assert!(order.windows(2).all(|w| w[0] < w[1]), "{s}");
+        assert!(s.contains("\"a\\\"b\\n\""), "{s}");
+        assert!(s.contains("\"ratio\": 0.5"), "{s}");
+        assert!(s.contains("\"nan\": null"), "{s}");
+        assert!(s.contains("\"empty\": []"), "{s}");
+        // Balanced braces/brackets.
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
     }
 }

@@ -125,6 +125,39 @@ pub trait Rig {
     }
 }
 
+/// Everything a rig needs to build its machine, decoupled from the
+/// [`Workload`](dmt_workloads::gen::Workload) that generated the trace:
+/// the VMAs to map and the pages the trace touches. Replay can build
+/// one straight from a trace file's header, with no generator around.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Setup {
+    /// The VMAs to map before the trace runs.
+    pub regions: Vec<Region>,
+    /// Unique, sorted 4 KiB page bases the trace touches (see
+    /// [`touched_pages`]).
+    pub pages: Vec<VirtAddr>,
+}
+
+impl Setup {
+    /// A setup from explicit regions and an access stream.
+    pub fn new(regions: Vec<Region>, trace: &[Access]) -> Setup {
+        Setup {
+            regions,
+            pages: touched_pages(trace),
+        }
+    }
+
+    /// Capture a live workload's regions plus the trace's touched pages.
+    pub fn of_workload(w: &dyn dmt_workloads::gen::Workload, trace: &[Access]) -> Setup {
+        Setup::new(w.regions(), trace)
+    }
+
+    /// Total mapped bytes.
+    pub fn footprint(&self) -> u64 {
+        self.regions.iter().map(|r| r.len).sum()
+    }
+}
+
 /// Cluster a workload's regions for `mmap`-time TEA creation, the way
 /// DMT-Linux clusters adjacent VMAs (§4.2.1): merge regions whose
 /// table-span-rounded TEA coverages would overlap (mandatory — two

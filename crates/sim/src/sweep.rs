@@ -1,0 +1,356 @@
+//! Parallel experiment sweeps: fan the (environment × design × THP ×
+//! benchmark) matrix across cores with `std::thread::scope` — no thread
+//! pool dependency — and emit a machine-readable JSON report.
+//!
+//! Every job is an independent `(rig, trace)` pair, so the sweep is
+//! embarrassingly parallel; workers claim jobs off a shared atomic
+//! cursor. Determinism is a hard invariant: a parallel sweep's
+//! [`RunStats`] are bit-identical to the serial path's (the engine and
+//! rigs share no state across jobs, and wall-clock timing lives in
+//! [`SweepRow`], never in [`RunStats`]). The test suite enforces this.
+
+use crate::engine::RunStats;
+use crate::experiments::{run_one, scaled_benchmarks, Scale};
+use crate::report::Json;
+use crate::rig::{Design, Env};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// What to sweep. The matrix is the cross product of the fields,
+/// filtered by [`Design::available_in`] (Table 6's N/A cells).
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Environments to cover.
+    pub envs: Vec<Env>,
+    /// Designs to cover (filtered per environment).
+    pub designs: Vec<Design>,
+    /// THP modes to cover.
+    pub thp: Vec<bool>,
+    /// Indices into [`scaled_benchmarks`]'s seven-benchmark list.
+    pub benchmarks: Vec<usize>,
+    /// Workload scaling.
+    pub scale: Scale,
+    /// Worker threads; `0` means all available cores.
+    pub threads: usize,
+}
+
+impl Default for SweepConfig {
+    /// The full Table-6 matrix at the default scale.
+    fn default() -> Self {
+        SweepConfig {
+            envs: vec![Env::Native, Env::Virt, Env::Nested],
+            designs: vec![
+                Design::Vanilla,
+                Design::Shadow,
+                Design::Fpt,
+                Design::Ecpt,
+                Design::Agile,
+                Design::Asap,
+                Design::Dmt,
+                Design::PvDmt,
+            ],
+            thp: vec![false, true],
+            benchmarks: (0..7).collect(),
+            scale: Scale::default(),
+            threads: 0,
+        }
+    }
+}
+
+impl SweepConfig {
+    /// A small matrix for integration tests: native GUPS + BTree under
+    /// vanilla and DMT.
+    pub fn test() -> Self {
+        SweepConfig {
+            envs: vec![Env::Native],
+            designs: vec![Design::Vanilla, Design::Dmt],
+            thp: vec![false],
+            benchmarks: vec![2, 3], // GUPS, BTree
+            scale: Scale::test(),
+            threads: 0,
+        }
+    }
+}
+
+/// One cell of the sweep matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepJob {
+    /// Environment.
+    pub env: Env,
+    /// Design.
+    pub design: Design,
+    /// THP mode.
+    pub thp: bool,
+    /// Benchmark index into [`scaled_benchmarks`].
+    pub bench: usize,
+}
+
+/// One completed job: the deterministic simulation outcome plus host
+/// wall-clock counters. Timing is deliberately *not* part of
+/// [`RunStats`] so outcome equality between parallel and serial sweeps
+/// is exact.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// Workload name.
+    pub workload: String,
+    /// Environment.
+    pub env: Env,
+    /// Design.
+    pub design: Design,
+    /// THP active.
+    pub thp: bool,
+    /// Engine statistics (deterministic).
+    pub stats: RunStats,
+    /// DMT fetcher coverage (1.0 for non-DMT designs; deterministic).
+    pub coverage: f64,
+    /// Host wall-clock time for this job (setup + run).
+    pub wall_nanos: u64,
+    /// Measured accesses replayed per host second.
+    pub accesses_per_sec: f64,
+}
+
+impl SweepRow {
+    /// The deterministic part of the row — everything but host timing.
+    /// Two sweeps over the same matrix must agree on this exactly.
+    pub fn outcome(&self) -> (&str, Env, Design, bool, RunStats, u64) {
+        (
+            &self.workload,
+            self.env,
+            self.design,
+            self.thp,
+            self.stats,
+            self.coverage.to_bits(),
+        )
+    }
+}
+
+/// A completed sweep.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// One row per matrix cell, in matrix order.
+    pub rows: Vec<SweepRow>,
+    /// Worker threads used (1 for the serial path).
+    pub threads: usize,
+    /// End-to-end wall-clock time.
+    pub total_wall_nanos: u64,
+}
+
+/// Expand a config into its job list (deterministic order: env, THP,
+/// benchmark, design), dropping unavailable (env, design) pairs.
+pub fn matrix(cfg: &SweepConfig) -> Vec<SweepJob> {
+    let mut jobs = Vec::new();
+    for &env in &cfg.envs {
+        for &thp in &cfg.thp {
+            for &bench in &cfg.benchmarks {
+                for &design in &cfg.designs {
+                    if design.available_in(env) {
+                        jobs.push(SweepJob {
+                            env,
+                            design,
+                            thp,
+                            bench,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    jobs
+}
+
+fn run_job(job: SweepJob, scale: Scale) -> Result<SweepRow, String> {
+    let started = Instant::now();
+    let benches = scaled_benchmarks(scale, job.thp);
+    let w = benches
+        .get(job.bench)
+        .ok_or_else(|| format!("benchmark index {} out of range", job.bench))?;
+    let m = run_one(job.env, job.design, job.thp, w.as_ref(), scale)?;
+    let wall_nanos = started.elapsed().as_nanos() as u64;
+    let secs = wall_nanos as f64 / 1e9;
+    Ok(SweepRow {
+        workload: m.workload,
+        env: m.env,
+        design: m.design,
+        thp: m.thp,
+        stats: m.stats,
+        coverage: m.coverage,
+        wall_nanos,
+        accesses_per_sec: if secs > 0.0 {
+            m.stats.accesses as f64 / secs
+        } else {
+            0.0
+        },
+    })
+}
+
+/// Run the sweep across worker threads.
+///
+/// Workers claim jobs off an atomic cursor; each job builds its own rig
+/// and trace, so no simulation state is shared and the statistics are
+/// identical to [`sweep_serial`]'s.
+///
+/// # Errors
+///
+/// Returns the first job failure (by matrix order).
+pub fn sweep(cfg: &SweepConfig) -> Result<SweepReport, String> {
+    let jobs = matrix(cfg);
+    let threads = if cfg.threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        cfg.threads
+    }
+    .min(jobs.len().max(1));
+    let started = Instant::now();
+
+    let cursor = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<Result<SweepRow, String>>>> =
+        Mutex::new((0..jobs.len()).map(|_| None).collect());
+    let scale = cfg.scale;
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(&job) = jobs.get(i) else { break };
+                let out = run_job(job, scale);
+                slots.lock().expect("no poisoned workers")[i] = Some(out);
+            });
+        }
+    });
+
+    let mut rows = Vec::with_capacity(jobs.len());
+    for slot in slots.into_inner().expect("workers joined") {
+        rows.push(slot.expect("every job claimed")?);
+    }
+    Ok(SweepReport {
+        rows,
+        threads,
+        total_wall_nanos: started.elapsed().as_nanos() as u64,
+    })
+}
+
+/// Run the same matrix on the calling thread — the reference the
+/// determinism test holds [`sweep`] against.
+///
+/// # Errors
+///
+/// Returns the first job failure.
+pub fn sweep_serial(cfg: &SweepConfig) -> Result<SweepReport, String> {
+    let started = Instant::now();
+    let mut rows = Vec::new();
+    for job in matrix(cfg) {
+        rows.push(run_job(job, cfg.scale)?);
+    }
+    Ok(SweepReport {
+        rows,
+        threads: 1,
+        total_wall_nanos: started.elapsed().as_nanos() as u64,
+    })
+}
+
+impl SweepReport {
+    /// Render as a JSON document (schema `dmt-sweep-v1`).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("schema", Json::Str("dmt-sweep-v1".into()))
+            .set("threads", Json::U64(self.threads as u64))
+            .set("total_wall_nanos", Json::U64(self.total_wall_nanos))
+            .set(
+                "rows",
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|r| {
+                            Json::obj()
+                                .set("workload", Json::Str(r.workload.clone()))
+                                .set("env", Json::Str(r.env.name().into()))
+                                .set("design", Json::Str(r.design.name().into()))
+                                .set("thp", Json::Bool(r.thp))
+                                .set("accesses", Json::U64(r.stats.accesses))
+                                .set("walks", Json::U64(r.stats.walks))
+                                .set("walk_cycles", Json::U64(r.stats.walk_cycles))
+                                .set("walk_refs", Json::U64(r.stats.walk_refs))
+                                .set("data_cycles", Json::U64(r.stats.data_cycles))
+                                .set("fallbacks", Json::U64(r.stats.fallbacks))
+                                .set("exits", Json::U64(r.stats.exits))
+                                .set("faults", Json::U64(r.stats.faults))
+                                .set(
+                                    "avg_walk_latency",
+                                    Json::F64(r.stats.avg_walk_latency()),
+                                )
+                                .set("miss_ratio", Json::F64(r.stats.miss_ratio()))
+                                .set("coverage", Json::F64(r.coverage))
+                                .set("wall_nanos", Json::U64(r.wall_nanos))
+                                .set("accesses_per_sec", Json::F64(r.accesses_per_sec))
+                        })
+                        .collect(),
+                ),
+            )
+    }
+
+    /// Write the JSON report to `results/<name>.json`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_json(&self, name: &str) -> std::io::Result<std::path::PathBuf> {
+        self.to_json().write_json(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_respects_availability() {
+        let cfg = SweepConfig {
+            envs: vec![Env::Native, Env::Virt, Env::Nested],
+            designs: vec![Design::Vanilla, Design::Shadow, Design::PvDmt],
+            thp: vec![false],
+            benchmarks: vec![0],
+            scale: Scale::test(),
+            threads: 1,
+        };
+        let jobs = matrix(&cfg);
+        assert!(jobs.iter().all(|j| j.design.available_in(j.env)));
+        // Native drops Shadow; Nested drops Shadow (keeps Vanilla+PvDmt).
+        assert_eq!(jobs.iter().filter(|j| j.env == Env::Native).count(), 2);
+        assert_eq!(jobs.iter().filter(|j| j.env == Env::Virt).count(), 3);
+        assert_eq!(jobs.iter().filter(|j| j.env == Env::Nested).count(), 2);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_exactly() {
+        let mut cfg = SweepConfig::test();
+        cfg.threads = 4;
+        let par = sweep(&cfg).unwrap();
+        let ser = sweep_serial(&cfg).unwrap();
+        assert_eq!(par.rows.len(), ser.rows.len());
+        assert_eq!(par.rows.len(), matrix(&cfg).len());
+        for (p, s) in par.rows.iter().zip(&ser.rows) {
+            assert_eq!(p.outcome(), s.outcome());
+        }
+        // The runs did real work.
+        assert!(par.rows.iter().all(|r| r.stats.accesses > 0));
+        assert!(par.rows.iter().any(|r| r.stats.walks > 0));
+    }
+
+    #[test]
+    fn report_round_trips_to_results_dir() {
+        let mut cfg = SweepConfig::test();
+        cfg.benchmarks = vec![2]; // GUPS only: keep the test quick.
+        let report = sweep(&cfg).unwrap();
+        let json = report.to_json().to_string();
+        assert!(json.contains("\"schema\": \"dmt-sweep-v1\""));
+        assert!(json.contains("\"workload\": \"GUPS\""));
+        assert!(json.contains("\"design\": \"DMT\""));
+        assert!(json.contains("\"avg_walk_latency\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+
+        let path = report.write_json("sweep_selftest").unwrap();
+        let on_disk = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(on_disk.trim_end(), json);
+        std::fs::remove_file(&path).ok();
+    }
+}

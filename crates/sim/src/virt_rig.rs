@@ -71,9 +71,20 @@ impl VirtRig {
         workload: &dyn Workload,
         trace: &[dmt_workloads::gen::Access],
     ) -> Result<Self, String> {
+        Self::with_setup(design, thp, &crate::rig::Setup::of_workload(workload, trace))
+    }
+
+    /// Build the machine from a [`Setup`](crate::rig::Setup) — regions
+    /// plus touched pages — with no workload generator in sight (the
+    /// trace-replay path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates setup failures as strings.
+    pub fn with_setup(design: Design, thp: bool, setup: &crate::rig::Setup) -> Result<Self, String> {
         assert!(design.available_in(Env::Virt));
-        let footprint = workload.footprint();
-        let pages = crate::rig::touched_pages(trace);
+        let footprint = setup.footprint();
+        let pages = &setup.pages;
         let touched_bytes = (pages.len() as u64) << (if thp { 21 } else { 12 });
         // Guest physical space spans the footprint (TEAs are eager) but
         // only touched pages get backed.
@@ -112,10 +123,10 @@ impl VirtRig {
         };
         // TEAs are created per VMA *cluster* (§4.2.1); only touched pages
         // are populated.
-        for (base, len) in crate::rig::cluster_regions(&workload.regions(), thp) {
+        for (base, len) in crate::rig::cluster_regions(&setup.regions, thp) {
             m.guest_mmap(base, len).map_err(|e| e.to_string())?;
         }
-        for &va in &pages {
+        for &va in pages {
             m.guest_populate(va).map_err(|e| e.to_string())?;
         }
 
@@ -125,11 +136,11 @@ impl VirtRig {
         match design {
             Design::Fpt => {
                 let (base, frames) = arena.expect("allocated above");
-                fpt_pair = Some(Self::build_fpts(&mut m, &pages, base, frames)?);
+                fpt_pair = Some(Self::build_fpts(&mut m, pages, base, frames)?);
             }
             Design::Ecpt => {
                 let (base, frames) = arena.expect("allocated above");
-                necpt = Some(Self::build_ecpts(&mut m, &pages, base, frames)?);
+                necpt = Some(Self::build_ecpts(&mut m, pages, base, frames)?);
             }
             Design::Asap => {
                 let l1: Vec<_> = m

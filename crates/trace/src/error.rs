@@ -1,0 +1,104 @@
+//! Error type for trace encoding and decoding.
+
+use core::fmt;
+use std::io;
+
+/// Everything that can go wrong reading or writing a trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// An underlying I/O failure.
+    Io(io::Error),
+    /// The file does not start with the trace magic.
+    BadMagic([u8; 8]),
+    /// The file's format version is newer than this reader.
+    UnsupportedVersion(u16),
+    /// The stream ended before the end-of-trace marker — a partial
+    /// write or truncated copy.
+    Truncated,
+    /// A structural invariant was violated (reserved token, varint
+    /// overflow, oversized header field, ...).
+    Corrupt(&'static str),
+    /// The trailer's access count disagrees with the records decoded.
+    CountMismatch {
+        /// Count recorded in the trailer.
+        expected: u64,
+        /// Records actually decoded.
+        found: u64,
+    },
+    /// The trailer checksum disagrees with the decoded records.
+    ChecksumMismatch,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::BadMagic(m) => write!(f, "not a DMT trace (magic {m:02x?})"),
+            TraceError::UnsupportedVersion(v) => {
+                write!(f, "unsupported trace format version {v}")
+            }
+            TraceError::Truncated => write!(f, "trace truncated before end marker"),
+            TraceError::Corrupt(what) => write!(f, "corrupt trace: {what}"),
+            TraceError::CountMismatch { expected, found } => write!(
+                f,
+                "trace count mismatch: trailer says {expected}, decoded {found}"
+            ),
+            TraceError::ChecksumMismatch => write!(f, "trace checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        // A short read mid-structure means the file was cut off; keep
+        // the distinction so callers can report it precisely.
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            TraceError::Truncated
+        } else {
+            TraceError::Io(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_specific() {
+        let cases: Vec<(TraceError, &str)> = vec![
+            (TraceError::BadMagic(*b"NOTTRACE"), "magic"),
+            (TraceError::UnsupportedVersion(9), "version 9"),
+            (TraceError::Truncated, "truncated"),
+            (TraceError::Corrupt("reserved token"), "reserved token"),
+            (
+                TraceError::CountMismatch {
+                    expected: 5,
+                    found: 3,
+                },
+                "says 5, decoded 3",
+            ),
+            (TraceError::ChecksumMismatch, "checksum"),
+        ];
+        for (e, needle) in cases {
+            assert!(e.to_string().contains(needle), "{e}");
+        }
+    }
+
+    #[test]
+    fn unexpected_eof_maps_to_truncated() {
+        let e: TraceError = io::Error::new(io::ErrorKind::UnexpectedEof, "eof").into();
+        assert!(matches!(e, TraceError::Truncated));
+        let e: TraceError = io::Error::other("disk fell off").into();
+        assert!(matches!(e, TraceError::Io(_)));
+    }
+}

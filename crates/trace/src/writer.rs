@@ -1,0 +1,187 @@
+//! Streaming trace encoder.
+
+use crate::codec::{
+    encode_token, write_varint, TraceHash, TraceMeta, NAIVE_BYTES_PER_ACCESS, TOKEN_END,
+};
+use dmt_workloads::gen::Access;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// Size statistics returned by [`TraceWriter::finish`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Accesses encoded.
+    pub accesses: u64,
+    /// Header bytes written.
+    pub header_bytes: u64,
+    /// Body + trailer bytes written.
+    pub body_bytes: u64,
+}
+
+impl TraceSummary {
+    /// Total encoded size.
+    pub fn total_bytes(&self) -> u64 {
+        self.header_bytes + self.body_bytes
+    }
+
+    /// Size of the naive fixed-width representation of the same trace.
+    pub fn naive_bytes(&self) -> u64 {
+        self.accesses * NAIVE_BYTES_PER_ACCESS
+    }
+
+    /// Encoded size as a fraction of the naive representation.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            return 1.0;
+        }
+        self.total_bytes() as f64 / self.naive_bytes() as f64
+    }
+}
+
+/// Streams accesses into any [`Write`] sink in the `dmt-trace` binary
+/// format. Call [`finish`](TraceWriter::finish) to seal the trace with
+/// its end marker, count, and checksum — a writer dropped without
+/// `finish` leaves a trace that readers reject as
+/// [`Truncated`](crate::TraceError::Truncated).
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    sink: W,
+    buf: Vec<u8>,
+    prev_va: u64,
+    count: u64,
+    hash: TraceHash,
+    header_bytes: u64,
+    body_bytes: u64,
+}
+
+/// Flush the encode buffer once it crosses this size.
+const FLUSH_THRESHOLD: usize = 64 << 10;
+
+impl<W: Write> TraceWriter<W> {
+    /// Write the header and return a writer ready for accesses.
+    ///
+    /// # Errors
+    ///
+    /// Propagates header serialization failures.
+    pub fn new(mut sink: W, meta: &TraceMeta) -> io::Result<Self> {
+        let header_bytes = meta.write_header(&mut sink)?;
+        Ok(TraceWriter {
+            sink,
+            buf: Vec::with_capacity(FLUSH_THRESHOLD + 32),
+            prev_va: 0,
+            count: 0,
+            hash: TraceHash::default(),
+            header_bytes,
+            body_bytes: 0,
+        })
+    }
+
+    /// Append one access.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sink I/O failures.
+    pub fn push(&mut self, a: Access) -> io::Result<()> {
+        let va = a.va.raw();
+        encode_token(self.prev_va, va, a.write, &mut self.buf);
+        self.prev_va = va;
+        self.hash.update(va, a.write);
+        self.count += 1;
+        if self.buf.len() >= FLUSH_THRESHOLD {
+            self.flush_buf()?;
+        }
+        Ok(())
+    }
+
+    /// Append every access from an iterator; returns how many were
+    /// written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sink I/O failures.
+    pub fn push_all(&mut self, accesses: impl IntoIterator<Item = Access>) -> io::Result<u64> {
+        let before = self.count;
+        for a in accesses {
+            self.push(a)?;
+        }
+        Ok(self.count - before)
+    }
+
+    fn flush_buf(&mut self) -> io::Result<()> {
+        self.sink.write_all(&self.buf)?;
+        self.body_bytes += self.buf.len() as u64;
+        self.buf.clear();
+        Ok(())
+    }
+
+    /// Seal the trace: end marker, access count, checksum; flushes the
+    /// sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sink I/O failures.
+    pub fn finish(mut self) -> io::Result<TraceSummary> {
+        write_varint(TOKEN_END, &mut self.buf);
+        write_varint(self.count as u128, &mut self.buf);
+        self.buf.extend_from_slice(&self.hash.digest().to_le_bytes());
+        self.flush_buf()?;
+        self.sink.flush()?;
+        Ok(TraceSummary {
+            accesses: self.count,
+            header_bytes: self.header_bytes,
+            body_bytes: self.body_bytes,
+        })
+    }
+}
+
+impl TraceWriter<BufWriter<std::fs::File>> {
+    /// Create (truncating) a trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file creation and header I/O failures.
+    pub fn create(path: impl AsRef<Path>, meta: &TraceMeta) -> io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        TraceWriter::new(BufWriter::new(file), meta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmt_mem::VirtAddr;
+
+    #[test]
+    fn empty_trace_is_just_header_and_trailer() {
+        let mut out = Vec::new();
+        let w = TraceWriter::new(&mut out, &TraceMeta::default()).unwrap();
+        let s = w.finish().unwrap();
+        assert_eq!(s.accesses, 0);
+        assert_eq!(s.total_bytes(), out.len() as u64);
+        assert_eq!(s.compression_ratio(), 1.0);
+    }
+
+    #[test]
+    fn summary_accounts_for_every_byte() {
+        let mut out = Vec::new();
+        let mut w = TraceWriter::new(&mut out, &TraceMeta::default()).unwrap();
+        for i in 0..10_000u64 {
+            w.push(Access::read(VirtAddr(i * 64))).unwrap();
+        }
+        let s = w.finish().unwrap();
+        assert_eq!(s.accesses, 10_000);
+        assert_eq!(s.total_bytes(), out.len() as u64);
+        assert!(s.compression_ratio() < 0.5, "{}", s.compression_ratio());
+    }
+
+    #[test]
+    fn push_all_counts() {
+        let mut out = Vec::new();
+        let mut w = TraceWriter::new(&mut out, &TraceMeta::default()).unwrap();
+        let n = w
+            .push_all((0..5u64).map(|i| Access::write(VirtAddr(i << 12))))
+            .unwrap();
+        assert_eq!(n, 5);
+        assert_eq!(w.finish().unwrap().accesses, 5);
+    }
+}
