@@ -150,6 +150,21 @@ impl PageWalkCache {
         }
     }
 
+    /// Every resident entry as `(level, region base VA, next-table base)`.
+    /// Read-only (no LRU or counter effects) — the oracle checks each
+    /// payload still matches the live page table after shootdowns.
+    pub fn entries(&self) -> Vec<(u8, VirtAddr, PhysAddr)> {
+        let mut out = Vec::new();
+        for level in 2..=4u8 {
+            let s = Self::slot(level);
+            for key in self.arrays[s].keys() {
+                let va = VirtAddr(key << (PAGE_SHIFT + LEVEL_BITS * (level as u32 - 1)));
+                out.push((level, va, self.payloads[s][&key]));
+            }
+        }
+        out
+    }
+
     /// Counters.
     pub fn stats(&self) -> PwcStats {
         self.stats
@@ -225,6 +240,20 @@ mod tests {
         assert_eq!(
             pwc.lookup_deepest(VirtAddr(2 * L2_SPAN)),
             Some((2, PhysAddr(0x2000)))
+        );
+    }
+
+    #[test]
+    fn entries_round_trips_fills() {
+        let mut pwc = PageWalkCache::default();
+        let va = VirtAddr(0x40_0000_0000);
+        pwc.fill(va, 3, PhysAddr(0x2000));
+        pwc.fill(va, 2, PhysAddr(0x3000));
+        let mut e = pwc.entries();
+        e.sort();
+        assert_eq!(
+            e,
+            vec![(2, va, PhysAddr(0x3000)), (3, va, PhysAddr(0x2000))]
         );
     }
 

@@ -161,6 +161,12 @@ impl SetAssoc {
         self.misses = 0;
     }
 
+    /// Iterate over all resident keys (any order). Does not touch LRU
+    /// state or counters — this is the oracle's coherence-audit view.
+    pub fn keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.lines.iter().flatten().flatten().map(|(k, _)| *k)
+    }
+
     /// Number of occupied entries.
     pub fn occupancy(&self) -> u64 {
         self.lines

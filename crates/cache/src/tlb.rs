@@ -192,6 +192,33 @@ impl Tlb {
         self.stlb.flush();
     }
 
+    /// Every resident translation as `(page base VA, size)`, deduplicated
+    /// across the L1 arrays and the STLB. Read-only (no LRU or counter
+    /// effects) — used by the oracle's shootdown-coherence audit: after an
+    /// `munmap` + `invalidate`, no entry for the unmapped range may remain.
+    pub fn entries(&self) -> Vec<(VirtAddr, PageSize)> {
+        let mut out: Vec<(VirtAddr, PageSize)> = Vec::new();
+        let mut push = |va: VirtAddr, size: PageSize| {
+            if !out.contains(&(va, size)) {
+                out.push((va, size));
+            }
+        };
+        for (arr, size) in [
+            (&self.l1_4k, PageSize::Size4K),
+            (&self.l1_2m, PageSize::Size2M),
+            (&self.l1_1g, PageSize::Size1G),
+        ] {
+            for key in arr.keys() {
+                push(VirtAddr(key << size.shift()), size);
+            }
+        }
+        for key in self.stlb.keys() {
+            let size = PageSize::decode((key & 3) as u8).expect("STLB keys carry a valid size tag");
+            push(VirtAddr((key >> 2) << size.shift()), size);
+        }
+        out
+    }
+
     /// Counters.
     pub fn stats(&self) -> TlbStats {
         self.stats
@@ -312,6 +339,21 @@ mod tests {
         assert_eq!(size, PageSize::Size4K);
         let (hit, _) = t.lookup_any(VirtAddr(0)).unwrap();
         assert_eq!(hit, TlbHit::L1, "promoted after the STLB hit");
+    }
+
+    #[test]
+    fn entries_reports_resident_translations() {
+        let mut t = Tlb::new(TlbConfig::tiny());
+        t.fill(VirtAddr(0x1000), PageSize::Size4K);
+        t.fill(VirtAddr(0x20_0000), PageSize::Size2M);
+        let e = t.entries();
+        assert!(e.contains(&(VirtAddr(0x1000), PageSize::Size4K)));
+        assert!(e.contains(&(VirtAddr(0x20_0000), PageSize::Size2M)));
+        assert_eq!(e.len(), 2, "L1 and STLB copies deduplicated");
+        t.invalidate(VirtAddr(0x1000), PageSize::Size4K);
+        assert!(!t
+            .entries()
+            .contains(&(VirtAddr(0x1000), PageSize::Size4K)));
     }
 
     #[test]

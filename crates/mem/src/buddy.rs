@@ -447,6 +447,102 @@ impl BuddyAllocator {
         Ok(dst)
     }
 
+    /// Check every structural invariant of the allocator and return a
+    /// description of the first violation found.
+    ///
+    /// Audited invariants (the oracle's allocator layer):
+    /// - the incremental `free_frames` counter matches the per-frame state;
+    /// - every listed free block is in range, naturally aligned for its
+    ///   order, and covers only `Free` frames;
+    /// - no frame is covered by two listed free blocks (no overlap);
+    /// - every `Free` frame belongs to exactly one listed free block
+    ///   (free + used == total, with nothing leaked);
+    /// - no two mergeable buddies are both listed at the same order
+    ///   (eager merging actually happened).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the violated invariant.
+    pub fn audit(&self) -> std::result::Result<(), String> {
+        let total = self.total_frames();
+        let counted = self
+            .state
+            .iter()
+            .filter(|s| **s == FrameState::Free)
+            .count() as u64;
+        if counted != self.free_frames {
+            return Err(format!(
+                "free_frames counter {} != {} frames marked Free",
+                self.free_frames, counted
+            ));
+        }
+        // 0 = uncovered, 1 = covered by one block.
+        let mut covered = vec![false; total as usize];
+        for (order, list) in self.free_lists.iter().enumerate() {
+            let n = 1u64 << order;
+            for &head in list {
+                if head & (n - 1) != 0 {
+                    return Err(format!("free block {head} misaligned for order {order}"));
+                }
+                if head + n > total {
+                    return Err(format!(
+                        "free block {head} order {order} extends past total {total}"
+                    ));
+                }
+                for f in head..head + n {
+                    if self.state[f as usize] != FrameState::Free {
+                        return Err(format!(
+                            "frame {f} in free block {head} order {order} is allocated"
+                        ));
+                    }
+                    if covered[f as usize] {
+                        return Err(format!("frame {f} covered by two free blocks"));
+                    }
+                    covered[f as usize] = true;
+                }
+                // Eager merging: the buddy of a listed block must not also
+                // be listed at the same (mergeable) order.
+                if (order as u8) < self.max_order {
+                    let buddy = head ^ n;
+                    if buddy + n <= total && list.contains(&buddy) && head < buddy {
+                        return Err(format!(
+                            "buddies {head} and {buddy} both free at order {order} (unmerged)"
+                        ));
+                    }
+                }
+            }
+        }
+        for f in 0..total {
+            if (self.state[f as usize] == FrameState::Free) != covered[f as usize] {
+                return Err(format!(
+                    "frame {f}: state {:?} disagrees with free-list coverage {}",
+                    self.state[f as usize], covered[f as usize]
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// FNV-1a hash over the full per-frame state sequence — a cheap
+    /// fingerprint of the allocator's end state, used by the seeded
+    /// determinism tests (two identically seeded runs must agree).
+    pub fn state_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for s in &self.state {
+            let byte: u8 = match s {
+                FrameState::Free => 0,
+                FrameState::Allocated(FrameKind::Data) => 1,
+                FrameState::Allocated(FrameKind::HugeData) => 2,
+                FrameState::Allocated(FrameKind::PageTable) => 3,
+                FrameState::Allocated(FrameKind::Tea) => 4,
+                FrameState::Allocated(FrameKind::Reserved) => 5,
+            };
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
     // ---- internals -----------------------------------------------------
 
     fn check_allocated_run(&self, pfn: Pfn, n: u64) -> Result<()> {
@@ -708,6 +804,64 @@ mod tests {
         assert_eq!(a.allocated_of_kind(FrameKind::Tea), 10);
         assert_eq!(a.allocated_of_kind(FrameKind::PageTable), 2);
         assert_eq!(a.allocated_of_kind(FrameKind::Data), 0);
+    }
+
+    #[test]
+    fn audit_accepts_fresh_and_churned_allocators() {
+        let mut a = BuddyAllocator::new(1000);
+        a.audit().unwrap();
+        let p = a.alloc_contig(100, FrameKind::Tea).unwrap();
+        let q = a.alloc_order(3, FrameKind::Data).unwrap();
+        a.audit().unwrap();
+        a.free_order(q, 3).unwrap();
+        a.free_contig(p, 100).unwrap();
+        a.audit().unwrap();
+    }
+
+    #[test]
+    fn audit_catches_counter_drift() {
+        let mut a = BuddyAllocator::new(64);
+        a.free_frames -= 1; // simulate a lost frame
+        assert!(a.audit().unwrap_err().contains("free_frames counter"));
+    }
+
+    #[test]
+    fn audit_catches_unmerged_buddies() {
+        let mut a = BuddyAllocator::new(64);
+        let p = a.alloc_order(1, FrameKind::Data).unwrap();
+        // Free the two halves without merging (bypass insert_and_merge).
+        a.state[p.0 as usize] = FrameState::Free;
+        a.state[p.0 as usize + 1] = FrameState::Free;
+        a.free_frames += 2;
+        a.free_lists[0].insert(p.0);
+        a.free_lists[0].insert(p.0 + 1);
+        assert!(a.audit().unwrap_err().contains("unmerged"));
+    }
+
+    #[test]
+    fn audit_catches_leaked_free_frame() {
+        let mut a = BuddyAllocator::new(64);
+        let p = a.alloc_order(0, FrameKind::Data).unwrap();
+        // Frame marked free but in no free list.
+        a.state[p.0 as usize] = FrameState::Free;
+        a.free_frames += 1;
+        assert!(a.audit().is_err());
+    }
+
+    #[test]
+    fn state_hash_tracks_allocation_state() {
+        let mut a = BuddyAllocator::new(256);
+        let h0 = a.state_hash();
+        let p = a.alloc_order(0, FrameKind::Data).unwrap();
+        assert_ne!(a.state_hash(), h0);
+        a.free_order(p, 0).unwrap();
+        assert_eq!(a.state_hash(), h0);
+        // Kind matters, not just allocated-ness.
+        let _ = a.reserve_single(p.0, FrameKind::Tea).unwrap();
+        let h_tea = a.state_hash();
+        let mut b = BuddyAllocator::new(256);
+        let _ = b.reserve_single(p.0, FrameKind::Data).unwrap();
+        assert_ne!(b.state_hash(), h_tea);
     }
 
     #[test]

@@ -1,0 +1,195 @@
+//! Structured records of oracle violations.
+//!
+//! Every check the oracle performs produces a [`Divergence`] on failure:
+//! which access diverged (by index into the translate stream), at what
+//! VA, under which design and environment, and what exactly disagreed.
+//! The record is the conformance suite's failure currency — a panic
+//! message or a collected list, either way it names the exact access.
+
+use core::fmt;
+
+use dmt_mem::{PageSize, PhysAddr, VirtAddr};
+use dmt_sim::{Design, Env};
+
+/// What disagreed between the design under test and the reference walk.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DivergenceKind {
+    /// The design's final PA differs from the software ground truth.
+    Pa {
+        /// PA the design produced.
+        got: PhysAddr,
+        /// PA the ground truth produces.
+        want: PhysAddr,
+    },
+    /// The rig's own reference radix walk disagrees with its
+    /// [`data_pa`](dmt_sim::Rig::data_pa) ground truth — the reference
+    /// state itself is inconsistent.
+    RefDisagreement {
+        /// PA from the reference leaf entry.
+        walk: PhysAddr,
+        /// PA from the data-access ground truth.
+        data: PhysAddr,
+    },
+    /// The design installed a TLB reach larger than the reference leaf —
+    /// it over-claims coverage (a smaller size is merely conservative).
+    SizeOverclaim {
+        /// Size the design reported.
+        got: PageSize,
+        /// Size of the reference leaf.
+        want: PageSize,
+    },
+    /// The reference leaf is missing an OS-template permission bit
+    /// (heap leaves are installed writable and user-accessible).
+    Permission {
+        /// Leaf writable bit.
+        writable: bool,
+        /// Leaf user bit.
+        user: bool,
+    },
+    /// The reference PA does not preserve the VA's offset within the
+    /// leaf — the leaf base was stored unaligned.
+    OffsetLost {
+        /// The reference PA.
+        pa: PhysAddr,
+        /// The leaf size whose offset was lost.
+        size: PageSize,
+    },
+    /// A translation raised page faults — the engine only translates
+    /// populated pages, so the fault counter must not move.
+    Fault {
+        /// Faults before the translation.
+        before: u64,
+        /// Faults after the translation.
+        after: u64,
+    },
+    /// A structural invariant audit failed (buddy allocator, VMA tree,
+    /// TEA map, TLB/PWC coherence); the message names the violation.
+    Invariant {
+        /// Human-readable description from the audit.
+        detail: String,
+    },
+}
+
+/// One oracle violation: the access it happened on and what diverged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence {
+    /// Zero-based index of the translate call that diverged.
+    pub access: u64,
+    /// The virtual address translated.
+    pub va: VirtAddr,
+    /// Design under test.
+    pub design: Design,
+    /// Environment under test.
+    pub env: Env,
+    /// What disagreed.
+    pub kind: DivergenceKind,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "access #{} va={:#x} [{}/{}]: ",
+            self.access,
+            self.va.raw(),
+            self.design.name(),
+            self.env.name()
+        )?;
+        match &self.kind {
+            DivergenceKind::Pa { got, want } => write!(
+                f,
+                "PA mismatch: design produced {:#x}, reference walk produced {:#x}",
+                got.raw(),
+                want.raw()
+            ),
+            DivergenceKind::RefDisagreement { walk, data } => write!(
+                f,
+                "reference inconsistency: radix walk says {:#x}, data ground truth says {:#x}",
+                walk.raw(),
+                data.raw()
+            ),
+            DivergenceKind::SizeOverclaim { got, want } => write!(
+                f,
+                "size over-claim: design installed {got:?} over a {want:?} reference leaf"
+            ),
+            DivergenceKind::Permission { writable, user } => write!(
+                f,
+                "permission template violated: writable={writable} user={user}"
+            ),
+            DivergenceKind::OffsetLost { pa, size } => write!(
+                f,
+                "offset not preserved: reference PA {:#x} within a {size:?} leaf",
+                pa.raw()
+            ),
+            DivergenceKind::Fault { before, after } => write!(
+                f,
+                "translation faulted: fault counter moved {before} -> {after}"
+            ),
+            DivergenceKind::Invariant { detail } => write!(f, "invariant violated: {detail}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_exact_access() {
+        let d = Divergence {
+            access: 42,
+            va: VirtAddr(0x1000),
+            design: Design::Dmt,
+            env: Env::Virt,
+            kind: DivergenceKind::Pa {
+                got: PhysAddr(0x5000),
+                want: PhysAddr(0x4000),
+            },
+        };
+        let s = d.to_string();
+        assert!(s.contains("access #42"), "{s}");
+        assert!(s.contains("0x1000"), "{s}");
+        assert!(s.contains("DMT"), "{s}");
+        assert!(s.contains("Virtualized"), "{s}");
+        assert!(s.contains("0x5000") && s.contains("0x4000"), "{s}");
+    }
+
+    #[test]
+    fn display_covers_every_kind() {
+        let kinds = [
+            DivergenceKind::RefDisagreement {
+                walk: PhysAddr(1),
+                data: PhysAddr(2),
+            },
+            DivergenceKind::SizeOverclaim {
+                got: PageSize::Size2M,
+                want: PageSize::Size4K,
+            },
+            DivergenceKind::Permission {
+                writable: false,
+                user: true,
+            },
+            DivergenceKind::OffsetLost {
+                pa: PhysAddr(3),
+                size: PageSize::Size4K,
+            },
+            DivergenceKind::Fault {
+                before: 1,
+                after: 2,
+            },
+            DivergenceKind::Invariant {
+                detail: "buddy: drift".into(),
+            },
+        ];
+        for kind in kinds {
+            let d = Divergence {
+                access: 0,
+                va: VirtAddr(0),
+                design: Design::Vanilla,
+                env: Env::Native,
+                kind,
+            };
+            assert!(!d.to_string().is_empty());
+        }
+    }
+}

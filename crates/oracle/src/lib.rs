@@ -1,0 +1,66 @@
+//! Differential translation oracle and invariant audit layer.
+//!
+//! Every rig in the evaluation harness owns a software ground truth —
+//! the radix page table its OS maintains (plus the backing maps in the
+//! virtualized environments). This crate replays each access through
+//! that reference walk *and* the design under test, asserting that the
+//! two agree on the physical address, the installed reach, the
+//! permission template and the absence of faults; and it audits the
+//! structural invariants the designs rely on: buddy-allocator
+//! consistency, VMA-tree ordering, TEA physical contiguity, gTEA/vTMAP
+//! agreement (§4.5.1), and TLB/PWC coherence after shootdowns.
+//!
+//! * [`checked`] — [`Checked`], the oracle wrapper any [`Rig`] plugs
+//!   into (zero simulation-cost: checked runs produce bit-identical
+//!   `RunStats`), and [`BitFlip`], the mutation rig the conformance
+//!   suite uses to prove the oracle bites.
+//! * [`divergence`] — structured [`Divergence`] records naming the
+//!   exact access that diverged.
+//! * [`audit`] — per-environment structural audits over live machines.
+//! * [`coherence`] — TLB/PWC shootdown-coherence audits and the
+//!   [`ShootdownHarness`] scenario driver.
+//!
+//! # Opting in
+//!
+//! The oracle is off by default. Tests wrap rigs explicitly; sweeps and
+//! experiment runners opt in for a whole process with `DMT_ORACLE=1`:
+//!
+//! ```no_run
+//! dmt_oracle::install_from_env(); // honors DMT_ORACLE=1
+//! ```
+//!
+//! after which every rig the experiment layer builds is wrapped in a
+//! panicking [`Checked`] — any divergence aborts the run naming the
+//! access.
+
+pub mod audit;
+pub mod checked;
+pub mod coherence;
+pub mod divergence;
+
+pub use audit::{audit_native, audit_nested, audit_virt};
+pub use checked::{BitFlip, Checked};
+pub use coherence::{audit_pwc, audit_tlb, ShootdownHarness};
+pub use divergence::{Divergence, DivergenceKind};
+
+use dmt_sim::Rig;
+
+/// The wrapper [`install_from_env`] registers: a panicking [`Checked`]
+/// around whatever rig the experiment layer built.
+fn checked_boxed(rig: Box<dyn Rig>) -> Box<dyn Rig> {
+    Box::new(Checked::new(rig))
+}
+
+/// When `DMT_ORACLE=1` is set, install the oracle as the process-wide
+/// rig wrapper (see [`dmt_sim::install_rig_wrapper`]): every rig built
+/// by the experiment runners and sweeps is then checked on every
+/// translation. Returns `true` if the wrapper was installed by this
+/// call; `false` when the variable is unset/other or a wrapper was
+/// already installed.
+pub fn install_from_env() -> bool {
+    if std::env::var("DMT_ORACLE").map(|v| v == "1").unwrap_or(false) {
+        dmt_sim::install_rig_wrapper(checked_boxed)
+    } else {
+        false
+    }
+}

@@ -195,9 +195,10 @@ impl Process {
         // model simple; the simulated workloads never unmap hot VMAs).
         let mut va = vma.base;
         while va < vma.end() {
-            if let Some((_, size)) = self.pt.translate(pm, va) {
+            if let Some((pa, size)) = self.pt.translate(pm, va) {
                 let aligned = va.align_down(size);
                 let _ = self.pt.unmap(pm, aligned, size);
+                self.reverse.remove(&pa.pfn().0);
                 va = VirtAddr(aligned.raw() + size.bytes());
             } else {
                 va += PageSize::Size4K.bytes();
@@ -517,6 +518,119 @@ impl Process {
     pub fn load_registers(&self, rf: &mut DmtRegisterFile) {
         rf.load(&self.mappings.select_registers());
     }
+
+    /// Whether TEAs and VMA-to-TEA mappings are maintained.
+    pub fn dmt_enabled(&self) -> bool {
+        self.dmt_enabled
+    }
+
+    /// Audit every OS-level invariant the oracle relies on, returning a
+    /// description of each violation (empty = healthy):
+    ///
+    /// - VMA tree: page-aligned, address-ordered, non-overlapping;
+    /// - reverse map: every tracked data frame still translates back to
+    ///   its page at the recorded size (compaction fix-ups applied);
+    /// - TEA map (DMT only): each mapping's cached [`crate::tea::Tea`]
+    ///   agrees with its register-visible base/length, every TEA frame is
+    ///   allocated as [`FrameKind::Tea`] (physically contiguous by
+    ///   construction, so this is the "no one freed it under us" check),
+    ///   per page size no two mappings cover the same VA, and — outside
+    ///   of gradual migrations — the radix table page serving each
+    ///   covered span *is* the TEA page (the single-PTE-copy invariant of
+    ///   paper §3).
+    pub fn audit(&self, pm: &PhysMemory) -> Vec<String> {
+        use dmt_mem::buddy::FrameState;
+        let mut errs = Vec::new();
+        let mut prev_end = 0u64;
+        for vma in self.aspace.iter() {
+            if vma.base.raw() % 4096 != 0 || vma.len % 4096 != 0 {
+                errs.push(format!("VMA at {} not page-aligned", vma.base));
+            }
+            if vma.base.raw() < prev_end {
+                errs.push(format!(
+                    "VMA at {} overlaps previous VMA ending at {prev_end:#x}",
+                    vma.base
+                ));
+            }
+            prev_end = vma.end().raw();
+        }
+        for (&frame, &(va, size)) in &self.reverse {
+            match self.pt.translate(pm, va) {
+                Some((pa, got)) if got == size && pa.pfn() == Pfn(frame) => {}
+                other => errs.push(format!(
+                    "reverse map says frame {frame} backs {va} at {size:?}, page table says {other:?}"
+                )),
+            }
+        }
+        if !self.dmt_enabled {
+            return errs;
+        }
+        let mut spans: HashMap<u8, Vec<(u64, u64)>> = HashMap::new();
+        for m in self.mappings.iter() {
+            let size = m.mapping.page_size();
+            let base = m.mapping.base();
+            // The owned TEA may be longer than the register view needs
+            // (migrations over-allocate for growth headroom), never
+            // shorter or elsewhere.
+            if m.tea.base != m.mapping.tea_base() || m.tea.frames < m.mapping.tea_frames() {
+                errs.push(format!(
+                    "mapping at {base}: TEA {:?}+{} disagrees with register view {:?}+{}",
+                    m.tea.base,
+                    m.tea.frames,
+                    m.mapping.tea_base(),
+                    m.mapping.tea_frames()
+                ));
+            }
+            for i in 0..m.tea.frames {
+                let pfn = Pfn(m.tea.base.0 + i);
+                if pm.buddy().frame_state(pfn) != FrameState::Allocated(FrameKind::Tea) {
+                    errs.push(format!(
+                        "mapping at {base}: TEA frame {pfn:?} is {:?}, not a Tea frame",
+                        pm.buddy().frame_state(pfn)
+                    ));
+                    break;
+                }
+            }
+            spans
+                .entry(size.encode())
+                .or_default()
+                .push((base.raw(), base.raw() + m.mapping.covered_bytes()));
+            // Single-PTE-copy: the table page the walker reaches for each
+            // 512-entry span must be the TEA page the fetcher indexes.
+            // Skipped mid-migration (the walker intentionally lags) and
+            // where a huge leaf overrides the 4 KiB tree (THP promotion).
+            if !self.mappings.is_migrating() {
+                let level = size.leaf_level();
+                let span = size.bytes() * 512;
+                let mut va = base;
+                while va.raw() < base.raw() + m.mapping.covered_bytes() {
+                    if let (Some(walked), Some((tea_frame, _))) = (
+                        self.pt.table_frame(pm, va, level),
+                        m.mapping.table_page_for(va),
+                    ) {
+                        if walked != tea_frame {
+                            errs.push(format!(
+                                "mapping at {base}: span {va} walks to table {walked:?}, TEA page is {tea_frame:?}"
+                            ));
+                        }
+                    }
+                    va = VirtAddr(va.raw() + span);
+                }
+            }
+        }
+        for list in spans.values_mut() {
+            list.sort_unstable();
+            for w in list.windows(2) {
+                if w[1].0 < w[0].1 {
+                    errs.push(format!(
+                        "two same-size mappings overlap: [{:#x},{:#x}) and [{:#x},{:#x})",
+                        w[0].0, w[0].1, w[1].0, w[1].1
+                    ));
+                }
+            }
+        }
+        errs
+    }
 }
 
 #[cfg(test)]
@@ -698,6 +812,56 @@ mod tests {
             p.begin_tea_migration(&mut pm, VirtAddr(0x9999_0000_0000), 8),
             Err(OsError::NotInVma { .. })
         ));
+    }
+
+    #[test]
+    fn audit_accepts_healthy_process_through_lifecycle() {
+        let mut pm = PhysMemory::new_bytes(64 << 20);
+        let mut p = Process::new(&mut pm, ThpMode::Never).unwrap();
+        let base = VirtAddr(0x4000_0000);
+        let id = p.mmap(&mut pm, base, 8 << 20, VmaKind::Heap).unwrap();
+        assert!(p.audit(&pm).is_empty());
+        p.populate_range(&mut pm, base, 2 << 20).unwrap();
+        p.promote(&mut pm, base).unwrap();
+        assert!(p.audit(&pm).is_empty(), "{:?}", p.audit(&pm));
+        p.demote(&mut pm, base).unwrap();
+        p.munmap(&mut pm, id).unwrap();
+        assert!(p.audit(&pm).is_empty(), "{:?}", p.audit(&pm));
+        assert!(pm.buddy().audit().is_ok());
+    }
+
+    #[test]
+    fn audit_survives_gradual_migration() {
+        let mut pm = PhysMemory::new_bytes(128 << 20);
+        let mut p = Process::new(&mut pm, ThpMode::Never).unwrap();
+        let base = VirtAddr(0x4000_0000);
+        p.mmap(&mut pm, base, 8 << 20, VmaKind::Heap).unwrap();
+        p.populate_range(&mut pm, base, 8 << 20).unwrap();
+        p.begin_tea_migration(&mut pm, base, 16).unwrap();
+        while p.migration_step(&mut pm).unwrap() {
+            assert!(p.audit(&pm).is_empty(), "{:?}", p.audit(&pm));
+        }
+        assert!(p.audit(&pm).is_empty(), "{:?}", p.audit(&pm));
+    }
+
+    #[test]
+    fn audit_catches_freed_tea_frame() {
+        let mut pm = PhysMemory::new_bytes(64 << 20);
+        let mut p = Process::new(&mut pm, ThpMode::Never).unwrap();
+        let base = VirtAddr(0x4000_0000);
+        p.mmap(&mut pm, base, 4 << 20, VmaKind::Heap).unwrap();
+        let tea_base = p
+            .mappings()
+            .lookup(base, PageSize::Size4K)
+            .unwrap()
+            .tea
+            .base;
+        // Free one TEA frame behind the OS's back.
+        pm.buddy_mut().free_contig(tea_base, 1).unwrap();
+        assert!(p
+            .audit(&pm)
+            .iter()
+            .any(|e| e.contains("not a Tea frame")));
     }
 
     #[test]

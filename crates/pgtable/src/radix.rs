@@ -184,6 +184,37 @@ impl RadixPageTable {
         }
     }
 
+    /// Software-translate `va`, also returning the leaf PTE's flags —
+    /// the reference walk used by the differential oracle, which checks
+    /// permission bits as well as the physical address.
+    pub fn translate_entry<M: MemoryOps>(
+        &self,
+        pm: &M,
+        va: VirtAddr,
+    ) -> Option<(PhysAddr, PageSize, PteFlags)> {
+        let mut table = self.root;
+        let mut l = self.levels;
+        loop {
+            let pa = PhysAddr::from_pfn(table) + va.level_index(l) * PTE_SIZE;
+            let pte = Pte(pm.read_word(pa));
+            if !pte.present() {
+                return None;
+            }
+            if pte.is_leaf_at(l) {
+                let size = match l {
+                    1 => PageSize::Size4K,
+                    2 => PageSize::Size2M,
+                    3 => PageSize::Size1G,
+                    _ => return None, // PS at L4/L5 is not architectural
+                };
+                let base = pte.phys_addr();
+                return Some((PhysAddr(base.raw() + va.offset_in(size)), size, pte.flags()));
+            }
+            table = pte.pfn();
+            l -= 1;
+        }
+    }
+
     /// Install `table_pfn` as the table page serving `va` at `level`
     /// (i.e. the entry at `level + 1` will point to it).
     ///
@@ -483,6 +514,27 @@ mod tests {
         // The L1 slot's content translates the page.
         let l1_slot = pt.entry_pa(&pm, va, 1).unwrap();
         assert_eq!(Pte(pm.read_word(l1_slot)).phys_addr(), PhysAddr(0x2000));
+    }
+
+    #[test]
+    fn translate_entry_reports_flags() {
+        let (mut pm, mut pt) = setup();
+        let va = VirtAddr(0x7fff_0000_1000);
+        pt.map(
+            &mut pm,
+            va,
+            PhysAddr(0x5000),
+            PageSize::Size4K,
+            PteFlags::WRITABLE | PteFlags::USER,
+        )
+        .unwrap();
+        let (pa, size, flags) = pt.translate_entry(&pm, va + 0x42).unwrap();
+        assert_eq!(pa, PhysAddr(0x5042));
+        assert_eq!(size, PageSize::Size4K);
+        assert!(flags.contains(PteFlags::PRESENT));
+        assert!(flags.contains(PteFlags::WRITABLE));
+        assert!(flags.contains(PteFlags::USER));
+        assert_eq!(pt.translate_entry(&pm, VirtAddr(0xdead_0000)), None);
     }
 
     #[test]

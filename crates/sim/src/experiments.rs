@@ -115,6 +115,30 @@ pub struct Measurement {
     pub coverage: f64,
 }
 
+/// A function wrapping a boxed rig in another (e.g. the oracle's
+/// `Checked` adapter).
+pub type RigWrapper = fn(Box<dyn Rig>) -> Box<dyn Rig>;
+
+/// A hook wrapping every rig before it runs — the oracle's entry point
+/// into the sweep/experiment drivers. Installed at most once per
+/// process (e.g. from `DMT_ORACLE=1` handling); `None` means rigs run
+/// unwrapped, with zero added work on the hot path.
+static RIG_WRAPPER: std::sync::OnceLock<RigWrapper> = std::sync::OnceLock::new();
+
+/// Install a process-wide rig wrapper (e.g. the differential oracle's
+/// `Checked` adapter). Returns `false` if a wrapper was already
+/// installed (the first one wins).
+pub fn install_rig_wrapper(wrapper: RigWrapper) -> bool {
+    RIG_WRAPPER.set(wrapper).is_ok()
+}
+
+fn wrap_rig(rig: Box<dyn Rig>) -> Box<dyn Rig> {
+    match RIG_WRAPPER.get() {
+        Some(w) => w(rig),
+        None => rig,
+    }
+}
+
 /// Run one (env, design, thp, workload) configuration.
 ///
 /// # Errors
@@ -128,23 +152,13 @@ pub fn run_one(
     scale: Scale,
 ) -> Result<Measurement, String> {
     let trace = w.trace(scale.total(), 0xD317 ^ design as u64);
-    let (stats, coverage) = match env {
-        Env::Native => {
-            let mut rig = NativeRig::new(design, thp, w, &trace)?;
-            let s = run(&mut rig, &trace, scale.warmup);
-            (s, rig.coverage())
-        }
-        Env::Virt => {
-            let mut rig = VirtRig::new(design, thp, w, &trace)?;
-            let s = run(&mut rig, &trace, scale.warmup);
-            (s, rig.coverage())
-        }
-        Env::Nested => {
-            let mut rig = NestedRig::new(design, thp, w, &trace)?;
-            let s = run(&mut rig, &trace, scale.warmup);
-            (s, rig.coverage())
-        }
-    };
+    let mut rig: Box<dyn Rig> = wrap_rig(match env {
+        Env::Native => Box::new(NativeRig::new(design, thp, w, &trace)?),
+        Env::Virt => Box::new(VirtRig::new(design, thp, w, &trace)?),
+        Env::Nested => Box::new(NestedRig::new(design, thp, w, &trace)?),
+    });
+    let stats = run(rig.as_mut(), &trace, scale.warmup);
+    let coverage = rig.coverage();
     Ok(Measurement {
         workload: w.name().to_string(),
         design,

@@ -42,6 +42,6 @@ pub mod sweep;
 pub mod virt_rig;
 
 pub use engine::{run, RunStats};
-pub use experiments::{fig14, fig15, fig16, fig17, table5, table6, Scale};
-pub use rig::{Design, Env, Rig, Setup, Translation};
+pub use experiments::{fig14, fig15, fig16, fig17, install_rig_wrapper, table5, table6, Scale};
+pub use rig::{Design, Env, RefEntry, Rig, Setup, Translation};
 pub use sweep::{sweep, sweep_serial, SweepConfig, SweepReport, SweepRow};

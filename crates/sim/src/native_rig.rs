@@ -1,7 +1,7 @@
 //! Native-environment rigs: vanilla radix, FPT, ECPT, ASAP, and DMT over
 //! identical physical memory and workload state.
 
-use crate::rig::{Design, Env, Rig, Translation};
+use crate::rig::{Design, Env, RefEntry, Rig, Translation};
 use dmt_baselines::asap::{AsapPrefetcher, AsapStats};
 use dmt_baselines::ecpt::Ecpt;
 use dmt_baselines::fpt::FlatPageTable;
@@ -212,6 +212,16 @@ impl NativeRig {
             self.fetch_hits as f64 / total as f64
         }
     }
+
+    /// The machine's physical memory (read-only; oracle audits).
+    pub fn phys(&self) -> &PhysMemory {
+        &self.pm
+    }
+
+    /// The machine's process (read-only; oracle audits).
+    pub fn process(&self) -> &Process {
+        &self.proc_
+    }
 }
 
 impl Rig for NativeRig {
@@ -360,7 +370,22 @@ impl Rig for NativeRig {
             .0
     }
 
+    fn ref_translate(&self, va: VirtAddr) -> Option<RefEntry> {
+        use dmt_pgtable::pte::PteFlags;
+        let (pa, size, flags) = self.proc_.page_table().translate_entry(&self.pm, va)?;
+        Some(RefEntry {
+            pa,
+            size,
+            writable: flags.contains(PteFlags::WRITABLE),
+            user: flags.contains(PteFlags::USER),
+        })
+    }
+
     fn faults(&self) -> u64 {
         self.proc_.faults()
+    }
+
+    fn coverage(&self) -> f64 {
+        NativeRig::coverage(self)
     }
 }

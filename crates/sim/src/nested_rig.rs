@@ -1,7 +1,7 @@
 //! Nested-virtualization rigs: the vanilla L2PT × sPT baseline and
 //! nested pvDMT (Figure 17).
 
-use crate::rig::{Design, Env, Rig, Translation};
+use crate::rig::{Design, Env, RefEntry, Rig, Translation};
 use dmt_cache::hierarchy::MemoryHierarchy;
 use dmt_core::DmtError;
 use dmt_mem::{PhysAddr, VirtAddr};
@@ -141,6 +141,17 @@ impl Rig for NestedRig {
         self.m.translate_software(va).expect("populated")
     }
 
+    fn ref_translate(&self, va: VirtAddr) -> Option<RefEntry> {
+        use dmt_pgtable::pte::PteFlags;
+        let (pa, size, flags) = self.m.translate_software_entry(va)?;
+        Some(RefEntry {
+            pa,
+            size,
+            writable: flags.contains(PteFlags::WRITABLE),
+            user: flags.contains(PteFlags::USER),
+        })
+    }
+
     fn exits(&self) -> u64 {
         match self.design {
             // The baseline pays a shadow sync per L2 fault (plus the
@@ -155,5 +166,9 @@ impl Rig for NestedRig {
 
     fn faults(&self) -> u64 {
         self.m.faults()
+    }
+
+    fn coverage(&self) -> f64 {
+        NestedRig::coverage(self)
     }
 }

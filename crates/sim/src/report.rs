@@ -64,6 +64,16 @@ impl fmt::Display for Table {
     }
 }
 
+/// The base directory reports are written to: `$DMT_RESULTS_DIR` when
+/// set (tests point it at a unique temp dir to avoid clobbering the
+/// repo's `results/` under parallel `cargo test`), `results` otherwise.
+pub fn results_dir() -> std::path::PathBuf {
+    match std::env::var_os("DMT_RESULTS_DIR") {
+        Some(dir) if !dir.is_empty() => std::path::PathBuf::from(dir),
+        _ => std::path::PathBuf::from("results"),
+    }
+}
+
 impl Table {
     /// Render as CSV (header row + data rows), for plotting.
     pub fn to_csv(&self) -> String {
@@ -91,14 +101,27 @@ impl Table {
         out
     }
 
-    /// Write the CSV rendering to `results/<name>.csv`, creating the
-    /// directory as needed.
+    /// Write the CSV rendering to `<results_dir>/<name>.csv` (see
+    /// [`results_dir`]), creating the directory as needed.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors.
     pub fn write_csv(&self, name: &str) -> std::io::Result<std::path::PathBuf> {
-        let dir = std::path::Path::new("results");
+        self.write_csv_in(&results_dir(), name)
+    }
+
+    /// Write the CSV rendering to `<dir>/<name>.csv`, creating the
+    /// directory as needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_csv_in(
+        &self,
+        dir: &std::path::Path,
+        name: &str,
+    ) -> std::io::Result<std::path::PathBuf> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("{name}.csv"));
         std::fs::write(&path, self.to_csv())?;
@@ -210,14 +233,28 @@ impl Json {
         }
     }
 
-    /// Write the rendering to `results/<name>.json`, creating the
-    /// directory as needed (the JSON sibling of [`Table::write_csv`]).
+    /// Write the rendering to `<results_dir>/<name>.json` (see
+    /// [`results_dir`]), creating the directory as needed (the JSON
+    /// sibling of [`Table::write_csv`]).
     ///
     /// # Errors
     ///
     /// Propagates I/O errors.
     pub fn write_json(&self, name: &str) -> std::io::Result<std::path::PathBuf> {
-        let dir = std::path::Path::new("results");
+        self.write_json_in(&results_dir(), name)
+    }
+
+    /// Write the rendering to `<dir>/<name>.json`, creating the
+    /// directory as needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_json_in(
+        &self,
+        dir: &std::path::Path,
+        name: &str,
+    ) -> std::io::Result<std::path::PathBuf> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("{name}.json"));
         std::fs::write(&path, format!("{self}\n"))?;

@@ -90,6 +90,20 @@ pub struct Translation {
     pub fallback: bool,
 }
 
+/// The reference leaf entry a software radix walk produces for a VA —
+/// what the oracle compares every design's [`Translation`] against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefEntry {
+    /// Ground-truth physical address (same space as [`Rig::data_pa`]).
+    pub pa: PhysAddr,
+    /// Leaf size in the reference tree.
+    pub size: PageSize,
+    /// Leaf is writable.
+    pub writable: bool,
+    /// Leaf is user-accessible.
+    pub user: bool,
+}
+
 /// A design-under-test: owns all machine state and serves translations.
 pub trait Rig {
     /// The design.
@@ -113,6 +127,14 @@ pub trait Rig {
     /// itself without involving the translation machinery).
     fn data_pa(&self, va: VirtAddr) -> PhysAddr;
 
+    /// Full reference entry (PA + size + permissions) from the rig's own
+    /// software ground truth, for the differential oracle. `None` means
+    /// either the page is unmapped or the rig does not expose flags; the
+    /// oracle then falls back to [`data_pa`](Self::data_pa) alone.
+    fn ref_translate(&self, _va: VirtAddr) -> Option<RefEntry> {
+        None
+    }
+
     /// VM exits attributable to this design during setup + run (shadow
     /// syncs, hypercalls); used by the §5 execution-time model.
     fn exits(&self) -> u64 {
@@ -122,6 +144,49 @@ pub trait Rig {
     /// Page faults served during setup (normalizes exit ratios).
     fn faults(&self) -> u64 {
         0
+    }
+
+    /// DMT fetcher coverage ratio so far (1.0 for non-DMT designs).
+    fn coverage(&self) -> f64 {
+        1.0
+    }
+}
+
+impl Rig for Box<dyn Rig> {
+    fn design(&self) -> Design {
+        (**self).design()
+    }
+
+    fn env(&self) -> Env {
+        (**self).env()
+    }
+
+    fn thp(&self) -> bool {
+        (**self).thp()
+    }
+
+    fn translate(&mut self, va: VirtAddr, hier: &mut MemoryHierarchy) -> Translation {
+        (**self).translate(va, hier)
+    }
+
+    fn data_pa(&self, va: VirtAddr) -> PhysAddr {
+        (**self).data_pa(va)
+    }
+
+    fn ref_translate(&self, va: VirtAddr) -> Option<RefEntry> {
+        (**self).ref_translate(va)
+    }
+
+    fn exits(&self) -> u64 {
+        (**self).exits()
+    }
+
+    fn faults(&self) -> u64 {
+        (**self).faults()
+    }
+
+    fn coverage(&self) -> f64 {
+        (**self).coverage()
     }
 }
 

@@ -288,13 +288,28 @@ impl SweepReport {
             )
     }
 
-    /// Write the JSON report to `results/<name>.json`.
+    /// Write the JSON report to `<results_dir>/<name>.json` (see
+    /// [`crate::report::results_dir`] — `$DMT_RESULTS_DIR` overrides the
+    /// default `results/`).
     ///
     /// # Errors
     ///
     /// Propagates I/O errors.
     pub fn write_json(&self, name: &str) -> std::io::Result<std::path::PathBuf> {
         self.to_json().write_json(name)
+    }
+
+    /// Write the JSON report to `<dir>/<name>.json`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_json_in(
+        &self,
+        dir: &std::path::Path,
+        name: &str,
+    ) -> std::io::Result<std::path::PathBuf> {
+        self.to_json().write_json_in(dir, name)
     }
 }
 
@@ -348,9 +363,17 @@ mod tests {
         assert!(json.contains("\"avg_walk_latency\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
 
-        let path = report.write_json("sweep_selftest").unwrap();
+        // A unique temp dir, never the repo CWD's results/ — parallel
+        // `cargo test` binaries must not race on a shared path.
+        let dir = std::env::temp_dir().join(format!(
+            "dmt-sweep-selftest-{}",
+            std::process::id()
+        ));
+        let path = report.write_json_in(&dir, "sweep_selftest").unwrap();
+        assert!(path.starts_with(&dir));
         let on_disk = std::fs::read_to_string(&path).unwrap();
         assert_eq!(on_disk.trim_end(), json);
         std::fs::remove_file(&path).ok();
+        std::fs::remove_dir(&dir).ok();
     }
 }

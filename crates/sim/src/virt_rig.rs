@@ -1,7 +1,7 @@
 //! Virtualized-environment rigs: every design of Figure 15 over a shared
 //! [`VirtMachine`].
 
-use crate::rig::{Design, Env, Rig, Translation};
+use crate::rig::{Design, Env, RefEntry, Rig, Translation};
 use dmt_baselines::agile::{agile_sync_events, agile_walk, guest_entry_chain};
 use dmt_baselines::asap::{AsapPrefetcher, AsapStats};
 use dmt_baselines::ecpt::{Ecpt, NestedEcpt};
@@ -480,6 +480,21 @@ impl Rig for VirtRig {
         self.m.translate_software(va).expect("populated")
     }
 
+    fn ref_translate(&self, va: VirtAddr) -> Option<RefEntry> {
+        use dmt_pgtable::pte::PteFlags;
+        // Guest leaf decides size and permissions; the host mapping
+        // finishes the PA (the 2D reference path).
+        let view = self.m.vm.guest_view_ref(&self.m.pm);
+        let (gpa, size, flags) = self.m.gpt.translate_entry(&view, va)?;
+        let hpa = self.m.vm.gpa_to_hpa(gpa)?;
+        Some(RefEntry {
+            pa: hpa,
+            size,
+            writable: flags.contains(PteFlags::WRITABLE),
+            user: flags.contains(PteFlags::USER),
+        })
+    }
+
     fn exits(&self) -> u64 {
         match self.design {
             Design::Shadow => self.m.faults(),
@@ -493,5 +508,9 @@ impl Rig for VirtRig {
 
     fn faults(&self) -> u64 {
         self.m.faults()
+    }
+
+    fn coverage(&self) -> f64 {
+        VirtRig::coverage(self)
     }
 }

@@ -201,10 +201,28 @@ impl NestedMachine {
         self.l2pa_to_l0pa(l2pa)
     }
 
+    /// Software ground-truth translation with the L2 leaf's size and
+    /// flags — the reference entry for the differential oracle.
+    pub fn translate_software_entry(
+        &self,
+        l2va: VirtAddr,
+    ) -> Option<(PhysAddr, PageSize, PteFlags)> {
+        let view = L2ViewRef { m: self };
+        let (l2pa, size, flags) = self.l2pt.translate_entry(&view, l2va)?;
+        Some((self.l2pa_to_l0pa(l2pa)?, size, flags))
+    }
+
     /// Number of `l2_mmap` cascaded hypercalls issued so far (== number
     /// of L2 TEA mappings created).
     pub fn l2_mappings_count(&self) -> usize {
         self.l2_mappings.len()
+    }
+
+    /// The L2 process's VMA→TEA mappings (TEA bases are L2-physical
+    /// frame numbers; the oracle resolves them through
+    /// [`l2pa_to_l0pa`](Self::l2pa_to_l0pa) against the gTEA tables).
+    pub fn l2_mappings(&self) -> &[VmaTeaMapping] {
+        &self.l2_mappings
     }
 
     /// L2 `mmap`: cascaded hypercall allocates an L0-contiguous L2 TEA,

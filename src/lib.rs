@@ -7,6 +7,7 @@ pub use dmt_baselines as baselines;
 pub use dmt_cache as cache;
 pub use dmt_core as core;
 pub use dmt_mem as mem;
+pub use dmt_oracle as oracle;
 pub use dmt_os as os;
 pub use dmt_pgtable as pgtable;
 pub use dmt_sim as sim;
