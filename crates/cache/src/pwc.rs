@@ -46,11 +46,18 @@ impl Default for PwcConfig {
     }
 }
 
-/// PWC hit/miss counters.
+/// PWC hit/miss counters, with hits attributed to the radix level of
+/// the entry that served them (`hits == l2_hits + l3_hits + l4_hits`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PwcStats {
     /// Walks that skipped levels thanks to a PWC hit.
     pub hits: u64,
+    /// Hits served by a cached L2 entry (deepest skip: walk resumes at L1).
+    pub l2_hits: u64,
+    /// Hits served by a cached L3 entry.
+    pub l3_hits: u64,
+    /// Hits served by a cached L4 (root-level) entry.
+    pub l4_hits: u64,
     /// Walks that found nothing cached.
     pub misses: u64,
 }
@@ -114,6 +121,11 @@ impl PageWalkCache {
             if self.arrays[s].lookup(key) {
                 let base = self.payloads[s][&key];
                 self.stats.hits += 1;
+                match level {
+                    2 => self.stats.l2_hits += 1,
+                    3 => self.stats.l3_hits += 1,
+                    _ => self.stats.l4_hits += 1,
+                }
                 return Some((level, base));
             }
         }
@@ -255,6 +267,24 @@ mod tests {
             e,
             vec![(2, va, PhysAddr(0x3000)), (3, va, PhysAddr(0x2000))]
         );
+    }
+
+    #[test]
+    fn per_level_hits_sum_to_total() {
+        let mut pwc = PageWalkCache::default();
+        let va = VirtAddr(0x40_0000_0000);
+        pwc.fill(va, 4, PhysAddr(0x1000));
+        pwc.fill(va, 2, PhysAddr(0x3000));
+        pwc.lookup_deepest(va); // L2 hit
+        let cousin = VirtAddr(va.raw() + L3_SPAN);
+        pwc.lookup_deepest(cousin); // same L4 slot covers it
+        pwc.lookup_deepest(VirtAddr(0x7000_0000_0000)); // miss
+        let s = pwc.stats();
+        assert_eq!(s.l2_hits, 1);
+        assert_eq!(s.l4_hits, 1);
+        assert_eq!(s.l3_hits, 0);
+        assert_eq!(s.hits, s.l2_hits + s.l3_hits + s.l4_hits);
+        assert_eq!(s.misses, 1);
     }
 
     #[test]

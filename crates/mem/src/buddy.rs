@@ -76,6 +76,22 @@ pub struct BuddyAllocator {
     /// Number of free frames (maintained incrementally).
     free_frames: u64,
     max_order: u8,
+    /// Lifetime churn counters (telemetry only — deliberately excluded
+    /// from [`state_hash`](Self::state_hash) and [`audit`](Self::audit)).
+    splits: u64,
+    merges: u64,
+    compactions: u64,
+}
+
+/// Allocator churn counters for the telemetry layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocCounters {
+    /// Blocks split in half on the alloc path.
+    pub splits: u64,
+    /// Buddy pairs coalesced on the free path.
+    pub merges: u64,
+    /// Successful `make_contig` compaction passes.
+    pub compactions: u64,
 }
 
 /// Default maximum block order (2^10 frames = 4 MiB), matching Linux.
@@ -101,13 +117,32 @@ impl BuddyAllocator {
             state: vec![FrameState::Allocated(FrameKind::Reserved); frames as usize],
             free_frames: 0,
             max_order,
+            splits: 0,
+            merges: 0,
+            compactions: 0,
         };
         a.add_free_range(0, frames);
         for f in 0..frames {
             a.state[f as usize] = FrameState::Free;
         }
         a.free_frames = frames;
+        // Seeding the free lists is not churn.
+        a.merges = 0;
         a
+    }
+
+    /// Lifetime split/merge/compaction counts (telemetry).
+    pub fn alloc_counters(&self) -> AllocCounters {
+        AllocCounters {
+            splits: self.splits,
+            merges: self.merges,
+            compactions: self.compactions,
+        }
+    }
+
+    /// Record one successful compaction pass (called by `compact`).
+    pub(crate) fn note_compaction(&mut self) {
+        self.compactions += 1;
     }
 
     /// Total number of frames managed.
@@ -191,6 +226,7 @@ impl BuddyAllocator {
             o -= 1;
             let upper = head + (1 << o);
             self.free_lists[o as usize].insert(upper);
+            self.splits += 1;
         }
         let n = 1u64 << order;
         for f in head..head + n {
@@ -613,6 +649,7 @@ impl BuddyAllocator {
             {
                 head = head.min(buddy);
                 order += 1;
+                self.merges += 1;
             } else {
                 break;
             }
@@ -862,6 +899,23 @@ mod tests {
         let mut b = BuddyAllocator::new(256);
         let _ = b.reserve_single(p.0, FrameKind::Data).unwrap();
         assert_ne!(b.state_hash(), h_tea);
+    }
+
+    #[test]
+    fn alloc_counters_track_churn_but_not_state_hash() {
+        let mut a = BuddyAllocator::new(256);
+        assert_eq!(a.alloc_counters(), AllocCounters::default());
+        let h0 = a.state_hash();
+        // One order-0 alloc from a pristine max_order=8 block: 8 splits.
+        let p = a.alloc_order(0, FrameKind::Data).unwrap();
+        assert_eq!(a.alloc_counters().splits, 8);
+        assert_eq!(a.alloc_counters().merges, 0);
+        // Freeing it coalesces all the way back: 8 merges.
+        a.free_order(p, 0).unwrap();
+        assert_eq!(a.alloc_counters().merges, 8);
+        // Counters are telemetry, not allocator state: the hash is back
+        // to the pristine value even though the counters moved.
+        assert_eq!(a.state_hash(), h0);
     }
 
     #[test]

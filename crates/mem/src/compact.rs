@@ -88,6 +88,7 @@ pub fn make_contig(
         buddy.free_order(p, 0)?;
     }
     buddy.reserve_range(start, n, kind)?;
+    buddy.note_compaction();
     Ok(CompactionResult {
         start: Pfn(start),
         migrations,

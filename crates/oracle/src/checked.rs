@@ -235,6 +235,14 @@ impl<R: Rig> Rig for Checked<R> {
     fn coverage(&self) -> f64 {
         self.inner.coverage()
     }
+
+    fn component_counters(&self) -> dmt_telemetry::ComponentCounters {
+        self.inner.component_counters()
+    }
+
+    fn frag_sample(&self) -> Option<(f64, u64)> {
+        self.inner.frag_sample()
+    }
 }
 
 /// A mutation rig: forwards everything to the wrapped rig but flips one
@@ -309,6 +317,14 @@ impl<R: Rig> Rig for BitFlip<R> {
 
     fn coverage(&self) -> f64 {
         self.inner.coverage()
+    }
+
+    fn component_counters(&self) -> dmt_telemetry::ComponentCounters {
+        self.inner.component_counters()
+    }
+
+    fn frag_sample(&self) -> Option<(f64, u64)> {
+        self.inner.frag_sample()
     }
 }
 

@@ -55,6 +55,11 @@ pub struct Process {
     reverse: HashMap<u64, (VirtAddr, PageSize)>,
     /// Page faults served (first-touch populations).
     faults: u64,
+    /// Gradual TEA migration steps that moved a page (§4.3).
+    tea_migrations: u64,
+    /// TLB shootdowns: events that invalidated live translations
+    /// (unmap, promote/demote, compaction PTE patches).
+    shootdowns: u64,
 }
 
 impl Process {
@@ -102,6 +107,8 @@ impl Process {
             dmt_enabled,
             reverse: HashMap::new(),
             faults: 0,
+            tea_migrations: 0,
+            shootdowns: 0,
         })
     }
 
@@ -146,6 +153,17 @@ impl Process {
     /// Page faults (first-touch populations) served so far.
     pub fn faults(&self) -> u64 {
         self.faults
+    }
+
+    /// Gradual TEA migration steps that moved a page (telemetry).
+    pub fn tea_migrations(&self) -> u64 {
+        self.tea_migrations
+    }
+
+    /// TLB shootdowns issued: unmaps of present pages, huge-page
+    /// promotions/demotions, and compaction PTE patches (telemetry).
+    pub fn shootdowns(&self) -> u64 {
+        self.shootdowns
     }
 
     /// Create a VMA and its TEA mapping(s). With [`ThpMode::Always`] and a
@@ -199,6 +217,7 @@ impl Process {
                 let aligned = va.align_down(size);
                 let _ = self.pt.unmap(pm, aligned, size);
                 self.reverse.remove(&pa.pfn().0);
+                self.shootdowns += 1;
                 va = VirtAddr(aligned.raw() + size.bytes());
             } else {
                 va += PageSize::Size4K.bytes();
@@ -368,6 +387,7 @@ impl Process {
             pm.free_frame(f)?;
         }
         self.reverse.insert(huge.0, (hbase, PageSize::Size2M));
+        self.shootdowns += 1;
         Ok(())
     }
 
@@ -414,6 +434,7 @@ impl Process {
             self.reverse
                 .insert(head.0 + i, (VirtAddr(hbase.raw() + i * 4096), PageSize::Size4K));
         }
+        self.shootdowns += 1;
         Ok(())
     }
 
@@ -480,6 +501,7 @@ impl Process {
                 };
                 pm.write_word(slot, new.raw());
                 self.reverse.insert(m.dst.0, (va, size));
+                self.shootdowns += 1;
             }
         }
         Ok(())
@@ -510,7 +532,11 @@ impl Process {
     ///
     /// See [`MappingManager::migration_step`].
     pub fn migration_step(&mut self, pm: &mut PhysMemory) -> Result<bool, OsError> {
-        self.mappings.migration_step(pm, &mut self.teas, &mut self.pt)
+        let moved = self.mappings.migration_step(pm, &mut self.teas, &mut self.pt)?;
+        if moved {
+            self.tea_migrations += 1;
+        }
+        Ok(moved)
     }
 
     /// Load the largest-VMA mappings into a DMT register file — the

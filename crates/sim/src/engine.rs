@@ -6,12 +6,24 @@
 //! through the same hierarchy — the contention between data lines and
 //! PTE lines is what makes last-level PTEs expensive for big-footprint
 //! workloads.
+//!
+//! The loop is generic over a [`Probe`]: [`run`] uses the no-op probe
+//! (whose `ACTIVE = false` compiles every instrumentation branch away,
+//! so the default path is byte-for-byte the uninstrumented engine),
+//! while [`run_probed`] with a live [`dmt_telemetry::Telemetry`]
+//! additionally captures per-walk histograms, per-level counters and a
+//! periodic fragmentation time-series. The probe only *observes* —
+//! simulation state transitions are identical either way, which
+//! `tests/determinism.rs` pins by comparing `RunStats` bit-for-bit.
 
 use crate::rig::Rig;
-use dmt_cache::hierarchy::MemoryHierarchy;
-use dmt_cache::tlb::Tlb;
+use dmt_cache::hierarchy::{HitLevel, MemoryHierarchy};
+use dmt_cache::tlb::{Tlb, TlbHit};
+use dmt_telemetry::{MemLevel, NoopProbe, Probe, TlbPath};
 use dmt_workloads::gen::Access;
 use std::borrow::Borrow;
+
+pub use dmt_telemetry::ratio;
 
 /// Aggregated run statistics.
 ///
@@ -42,29 +54,17 @@ pub struct RunStats {
 impl RunStats {
     /// Average page-walk latency in cycles (the paper's page-walk metric).
     pub fn avg_walk_latency(&self) -> f64 {
-        if self.walks == 0 {
-            0.0
-        } else {
-            self.walk_cycles as f64 / self.walks as f64
-        }
+        ratio(self.walk_cycles, self.walks)
     }
 
     /// Average sequential references per walk.
     pub fn avg_refs(&self) -> f64 {
-        if self.walks == 0 {
-            0.0
-        } else {
-            self.walk_refs as f64 / self.walks as f64
-        }
+        ratio(self.walk_refs, self.walks)
     }
 
     /// TLB miss ratio over measured accesses.
     pub fn miss_ratio(&self) -> f64 {
-        if self.accesses == 0 {
-            0.0
-        } else {
-            self.walks as f64 / self.accesses as f64
-        }
+        ratio(self.walks, self.accesses)
     }
 
     /// Total translation overhead cycles (the `O_sim` of §5's model).
@@ -84,15 +84,59 @@ where
     I: IntoIterator,
     I::Item: Borrow<Access>,
 {
+    run_probed(rig, trace, warmup, &mut NoopProbe)
+}
+
+fn mem_level(l: HitLevel) -> MemLevel {
+    match l {
+        HitLevel::L1 => MemLevel::L1,
+        HitLevel::L2 => MemLevel::L2,
+        HitLevel::Llc => MemLevel::Llc,
+        HitLevel::Dram => MemLevel::Dram,
+    }
+}
+
+/// [`run`] with an observation probe threaded through the loop.
+///
+/// Every probe call site is gated on `P::ACTIVE`, a const the compiler
+/// folds, so `run_probed::<_, NoopProbe>` monomorphizes to exactly the
+/// uninstrumented loop. With a live probe, per-walk latency/refs and
+/// per-access data latency feed histograms, PTE fetches are attributed
+/// to cache levels by diffing [`MemoryHierarchy::stats`] around the
+/// rig's translate call, and every `sample_interval` measured accesses
+/// the rig's fragmentation/RSS snapshot is appended to a time-series.
+pub fn run_probed<I, P>(rig: &mut dyn Rig, trace: I, warmup: usize, probe: &mut P) -> RunStats
+where
+    I: IntoIterator,
+    I::Item: Borrow<Access>,
+    P: Probe,
+{
     let mut tlb = Tlb::default();
     let mut hier = MemoryHierarchy::default();
     let mut stats = RunStats::default();
+    let sample_every = if P::ACTIVE {
+        probe.sample_interval().unwrap_or(0)
+    } else {
+        0
+    };
     for (i, a) in trace.into_iter().enumerate() {
         let a = a.borrow();
         let measured = i >= warmup;
         match tlb.lookup_any(a.va) {
-            Some(_) => {}
+            Some((hit, _)) => {
+                if P::ACTIVE && measured {
+                    probe.tlb_lookup(match hit {
+                        TlbHit::L1 => TlbPath::L1,
+                        _ => TlbPath::Stlb,
+                    });
+                }
+            }
             None => {
+                let before = if P::ACTIVE && measured {
+                    hier.stats()
+                } else {
+                    Default::default()
+                };
                 let tr = rig.translate(a.va, &mut hier);
                 tlb.fill(a.va, tr.size);
                 if measured {
@@ -102,18 +146,44 @@ where
                     if tr.fallback {
                         stats.fallbacks += 1;
                     }
+                    if P::ACTIVE {
+                        probe.tlb_lookup(TlbPath::Miss);
+                        probe.walk(tr.cycles, tr.refs, tr.fallback);
+                        let after = hier.stats();
+                        for (level, n) in [
+                            (MemLevel::L1, after.l1_hits - before.l1_hits),
+                            (MemLevel::L2, after.l2_hits - before.l2_hits),
+                            (MemLevel::Llc, after.llc_hits - before.llc_hits),
+                            (MemLevel::Dram, after.dram_accesses - before.dram_accesses),
+                        ] {
+                            if n > 0 {
+                                probe.pte_fetches(level, n);
+                            }
+                        }
+                    }
                 }
             }
         }
         let pa = rig.data_pa(a.va);
-        let (_, cyc) = hier.access(pa.raw());
+        let (level, cyc) = hier.access(pa.raw());
         if measured {
             stats.accesses += 1;
             stats.data_cycles += cyc;
+            if P::ACTIVE {
+                probe.data_access(mem_level(level), cyc);
+                if sample_every > 0 && stats.accesses % sample_every == 0 {
+                    if let Some((frag, rss)) = rig.frag_sample() {
+                        probe.sample(stats.accesses, frag, rss);
+                    }
+                }
+            }
         }
     }
     stats.exits = rig.exits();
     stats.faults = rig.faults();
+    if P::ACTIVE {
+        probe.absorb_components(rig.component_counters());
+    }
     stats
 }
 
@@ -121,6 +191,7 @@ where
 mod tests {
     use crate::native_rig::NativeRig;
     use crate::rig::Design;
+    use dmt_telemetry::{Counter, Telemetry};
     use dmt_workloads::bench7::Gups;
     use dmt_workloads::gen::Workload;
 
@@ -178,5 +249,53 @@ mod tests {
             s2.miss_ratio(),
             s4.miss_ratio()
         );
+    }
+
+    #[test]
+    fn zero_walk_stats_are_finite() {
+        // The shared ratio() helper guards every derived metric: a run
+        // with no measured accesses/walks must report clean zeros, not
+        // NaN (the old code duplicated this guard per method).
+        let s = super::RunStats::default();
+        assert_eq!(s.avg_walk_latency(), 0.0);
+        assert_eq!(s.avg_refs(), 0.0);
+        assert_eq!(s.miss_ratio(), 0.0);
+        assert_eq!(super::ratio(0, 0), 0.0);
+        assert_eq!(super::ratio(7, 0), 0.0);
+        assert_eq!(super::ratio(7, 2), 3.5);
+    }
+
+    #[test]
+    fn probe_counts_reconcile_with_runstats() {
+        let w = Gups { table_bytes: 32 << 20 };
+        let trace = w.trace(3_000, 5);
+        let mut rig = NativeRig::new(Design::Vanilla, false, &w, &trace).unwrap();
+        let mut t = Telemetry::with_interval(500);
+        let s = super::run_probed(&mut rig, &trace, 500, &mut t);
+        // Telemetry sees exactly the measured events RunStats aggregates.
+        assert_eq!(t.counters.get(Counter::Walks), s.walks);
+        assert_eq!(t.walk_latency.count(), s.walks);
+        assert_eq!(t.walk_latency.sum(), s.walk_cycles);
+        assert_eq!(t.walk_refs.sum(), s.walk_refs);
+        assert_eq!(t.data_latency.count(), s.accesses);
+        assert_eq!(t.data_latency.sum(), s.data_cycles);
+        assert_eq!(t.counters.get(Counter::TlbMisses), s.walks);
+        let tlb_events = t.counters.get(Counter::TlbL1Hits)
+            + t.counters.get(Counter::TlbStlbHits)
+            + t.counters.get(Counter::TlbMisses);
+        assert_eq!(tlb_events, s.accesses);
+        let data_hits = t.counters.get(Counter::CacheDataL1)
+            + t.counters.get(Counter::CacheDataL2)
+            + t.counters.get(Counter::CacheDataLlc)
+            + t.counters.get(Counter::CacheDataDram);
+        assert_eq!(data_hits, s.accesses);
+        // Vanilla walks fetch PTEs through the hierarchy.
+        let pte = t.counters.get(Counter::CachePteL1)
+            + t.counters.get(Counter::CachePteL2)
+            + t.counters.get(Counter::CachePteLlc)
+            + t.counters.get(Counter::CachePteDram);
+        assert_eq!(pte, s.walk_refs);
+        // Sampling fired every 500 measured accesses over 2500.
+        assert_eq!(t.series.len(), 5);
     }
 }

@@ -4,7 +4,7 @@
 //! performance model, and returns structured rows; `dmt-bench` and the
 //! examples print them via [`crate::report`].
 
-use crate::engine::{run, RunStats};
+use crate::engine::{run, run_probed, RunStats};
 use crate::native_rig::NativeRig;
 use crate::nested_rig::NestedRig;
 use crate::perfmodel::{app_speedup, calib_for, exit_ratio, geomean};
@@ -113,6 +113,9 @@ pub struct Measurement {
     pub stats: RunStats,
     /// DMT fetcher coverage (1.0 for non-DMT designs).
     pub coverage: f64,
+    /// Telemetry recorded during the run (`DMT_TELEMETRY=1` or an
+    /// explicit [`run_one_with_telemetry`] call; `None` otherwise).
+    pub telemetry: Option<dmt_telemetry::Telemetry>,
 }
 
 /// A function wrapping a boxed rig in another (e.g. the oracle's
@@ -139,6 +142,15 @@ fn wrap_rig(rig: Box<dyn Rig>) -> Box<dyn Rig> {
     }
 }
 
+/// Whether `DMT_TELEMETRY=1` opted this process into telemetry capture
+/// (mirrors the oracle's `DMT_ORACLE=1` hook; read once).
+pub fn telemetry_enabled() -> bool {
+    static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        std::env::var("DMT_TELEMETRY").map(|v| v == "1").unwrap_or(false)
+    })
+}
+
 /// Run one (env, design, thp, workload) configuration.
 ///
 /// # Errors
@@ -151,13 +163,34 @@ pub fn run_one(
     w: &dyn Workload,
     scale: Scale,
 ) -> Result<Measurement, String> {
+    run_one_with_telemetry(env, design, thp, w, scale, telemetry_enabled())
+}
+
+/// [`run_one`] with explicit control over telemetry capture. When
+/// `telemetry` is true the run goes through the probed engine with a
+/// live recorder (sampling fragmentation/RSS ~32 times over the trace);
+/// the `RunStats` are bit-identical either way.
+pub fn run_one_with_telemetry(
+    env: Env,
+    design: Design,
+    thp: bool,
+    w: &dyn Workload,
+    scale: Scale,
+    telemetry: bool,
+) -> Result<Measurement, String> {
     let trace = w.trace(scale.total(), 0xD317 ^ design as u64);
     let mut rig: Box<dyn Rig> = wrap_rig(match env {
         Env::Native => Box::new(NativeRig::new(design, thp, w, &trace)?),
         Env::Virt => Box::new(VirtRig::new(design, thp, w, &trace)?),
         Env::Nested => Box::new(NestedRig::new(design, thp, w, &trace)?),
     });
-    let stats = run(rig.as_mut(), &trace, scale.warmup);
+    let (stats, telemetry) = if telemetry {
+        let mut t = dmt_telemetry::Telemetry::with_interval((scale.total() as u64 / 32).max(1));
+        let stats = run_probed(rig.as_mut(), &trace, scale.warmup, &mut t);
+        (stats, Some(t))
+    } else {
+        (run(rig.as_mut(), &trace, scale.warmup), None)
+    };
     let coverage = rig.coverage();
     Ok(Measurement {
         workload: w.name().to_string(),
@@ -166,6 +199,7 @@ pub fn run_one(
         thp,
         stats,
         coverage,
+        telemetry,
     })
 }
 

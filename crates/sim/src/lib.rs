@@ -41,7 +41,9 @@ pub mod rig;
 pub mod sweep;
 pub mod virt_rig;
 
-pub use engine::{run, RunStats};
-pub use experiments::{fig14, fig15, fig16, fig17, install_rig_wrapper, table5, table6, Scale};
+pub use engine::{ratio, run, run_probed, RunStats};
+pub use experiments::{
+    fig14, fig15, fig16, fig17, install_rig_wrapper, table5, table6, telemetry_enabled, Scale,
+};
 pub use rig::{Design, Env, RefEntry, Rig, Setup, Translation};
 pub use sweep::{sweep, sweep_serial, SweepConfig, SweepReport, SweepRow};

@@ -13,6 +13,7 @@ use dmt_core::DmtError;
 use dmt_mem::buddy::FrameKind;
 use dmt_mem::{PageSize, PhysAddr, PhysMemory, VirtAddr};
 use dmt_os::proc::{Process, ThpMode};
+use dmt_telemetry::ComponentCounters;
 use dmt_os::vma::VmaKind;
 use dmt_pgtable::walk::{walk_dimension, WalkDim};
 use dmt_workloads::gen::Workload;
@@ -387,5 +388,28 @@ impl Rig for NativeRig {
 
     fn coverage(&self) -> f64 {
         NativeRig::coverage(self)
+    }
+
+    fn component_counters(&self) -> ComponentCounters {
+        let pwc = self.pwc.stats();
+        let alloc = self.pm.buddy().alloc_counters();
+        ComponentCounters {
+            pwc_l2_hits: pwc.l2_hits,
+            pwc_l3_hits: pwc.l3_hits,
+            pwc_l4_hits: pwc.l4_hits,
+            pwc_misses: pwc.misses,
+            alloc_splits: alloc.splits,
+            alloc_merges: alloc.merges,
+            compactions: alloc.compactions,
+            tea_migrations: self.proc_.tea_migrations(),
+            shootdowns: self.proc_.shootdowns(),
+        }
+    }
+
+    fn frag_sample(&self) -> Option<(f64, u64)> {
+        let b = self.pm.buddy();
+        let rss =
+            b.allocated_of_kind(FrameKind::Data) + b.allocated_of_kind(FrameKind::HugeData);
+        Some((dmt_mem::frag::fragmentation_index(b, 9), rss))
     }
 }

@@ -4,7 +4,9 @@
 use crate::rig::{Design, Env, RefEntry, Rig, Translation};
 use dmt_cache::hierarchy::MemoryHierarchy;
 use dmt_core::DmtError;
+use dmt_mem::buddy::FrameKind;
 use dmt_mem::{PhysAddr, VirtAddr};
+use dmt_telemetry::ComponentCounters;
 use dmt_virt::nested::NestedMachine;
 use dmt_workloads::gen::Workload;
 
@@ -170,5 +172,31 @@ impl Rig for NestedRig {
 
     fn coverage(&self) -> f64 {
         NestedRig::coverage(self)
+    }
+
+    fn component_counters(&self) -> ComponentCounters {
+        let mut c = ComponentCounters::default();
+        let pwcs = [
+            self.m.nested_caches.guest_pwc.as_ref().map(|p| p.stats()),
+            self.m.nested_caches.nested_pwc.as_ref().map(|p| p.stats()),
+        ];
+        for s in pwcs.into_iter().flatten() {
+            c.pwc_l2_hits += s.l2_hits;
+            c.pwc_l3_hits += s.l3_hits;
+            c.pwc_l4_hits += s.l4_hits;
+            c.pwc_misses += s.misses;
+        }
+        let alloc = self.m.pm.buddy().alloc_counters();
+        c.alloc_splits = alloc.splits;
+        c.alloc_merges = alloc.merges;
+        c.compactions = alloc.compactions;
+        c
+    }
+
+    fn frag_sample(&self) -> Option<(f64, u64)> {
+        let b = self.m.pm.buddy();
+        let rss =
+            b.allocated_of_kind(FrameKind::Data) + b.allocated_of_kind(FrameKind::HugeData);
+        Some((dmt_mem::frag::fragmentation_index(b, 9), rss))
     }
 }

@@ -168,6 +168,86 @@ impl Json {
     }
 }
 
+/// Render a [`Telemetry`](dmt_telemetry::Telemetry) block as JSON
+/// (schema `dmt-telemetry-v1`): the three histograms (non-empty log2
+/// buckets with inclusive bounds, plus scalar summaries), every counter
+/// by its stable name, derived per-level TLB/PWC hit rates, and the
+/// fragmentation/RSS time-series. Attached per row by
+/// [`SweepReport::to_json`](crate::sweep::SweepReport::to_json) and
+/// pinned byte-for-byte by `tests/golden_telemetry.rs`.
+pub fn telemetry_json(t: &dmt_telemetry::Telemetry) -> Json {
+    use dmt_telemetry::{ratio, Counter};
+    let hist = |h: &dmt_telemetry::Histogram| {
+        Json::obj()
+            .set("count", Json::U64(h.count()))
+            .set("sum", Json::U64(h.sum()))
+            .set("mean", Json::F64(h.mean()))
+            .set("min", Json::U64(h.min().unwrap_or(0)))
+            .set("max", Json::U64(h.max().unwrap_or(0)))
+            .set("p50", Json::U64(h.quantile(0.5)))
+            .set("p99", Json::U64(h.quantile(0.99)))
+            .set(
+                "buckets",
+                Json::Arr(
+                    h.nonzero_buckets()
+                        .map(|(lo, hi, n)| {
+                            Json::obj()
+                                .set("lo", Json::U64(lo))
+                                .set("hi", Json::U64(hi))
+                                .set("n", Json::U64(n))
+                        })
+                        .collect(),
+                ),
+            )
+    };
+    let c = |name: Counter| t.counters.get(name);
+    let mut counters = Json::obj();
+    for (counter, value) in t.counters.iter() {
+        counters = counters.set(counter.name(), Json::U64(value));
+    }
+    let tlb_total = c(Counter::TlbL1Hits) + c(Counter::TlbStlbHits) + c(Counter::TlbMisses);
+    let pwc_total = c(Counter::PwcL2Hits)
+        + c(Counter::PwcL3Hits)
+        + c(Counter::PwcL4Hits)
+        + c(Counter::PwcMisses);
+    Json::obj()
+        .set("schema", Json::Str("dmt-telemetry-v1".into()))
+        .set("walk_latency", hist(&t.walk_latency))
+        .set("walk_refs", hist(&t.walk_refs))
+        .set("data_latency", hist(&t.data_latency))
+        .set("counters", counters)
+        .set(
+            "tlb_rates",
+            Json::obj()
+                .set("l1", Json::F64(ratio(c(Counter::TlbL1Hits), tlb_total)))
+                .set("stlb", Json::F64(ratio(c(Counter::TlbStlbHits), tlb_total)))
+                .set("miss", Json::F64(ratio(c(Counter::TlbMisses), tlb_total))),
+        )
+        .set(
+            "pwc_rates",
+            Json::obj()
+                .set("l2", Json::F64(ratio(c(Counter::PwcL2Hits), pwc_total)))
+                .set("l3", Json::F64(ratio(c(Counter::PwcL3Hits), pwc_total)))
+                .set("l4", Json::F64(ratio(c(Counter::PwcL4Hits), pwc_total)))
+                .set("miss", Json::F64(ratio(c(Counter::PwcMisses), pwc_total))),
+        )
+        .set(
+            "series",
+            Json::Arr(
+                t.series
+                    .samples()
+                    .iter()
+                    .map(|s| {
+                        Json::obj()
+                            .set("at", Json::U64(s.at))
+                            .set("frag_index", Json::F64(s.frag_index))
+                            .set("rss_frames", Json::U64(s.rss_frames))
+                    })
+                    .collect(),
+            ),
+        )
+}
+
 /// Escape a string for embedding in JSON.
 fn json_escape(s: &str, out: &mut String) {
     out.push('"');

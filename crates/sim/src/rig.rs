@@ -3,6 +3,7 @@
 
 use dmt_cache::hierarchy::MemoryHierarchy;
 use dmt_mem::{PageSize, PhysAddr, VirtAddr};
+use dmt_telemetry::ComponentCounters;
 use dmt_workloads::gen::{Access, Region};
 
 /// Deployment environment (the paper's three columns of Table 6).
@@ -150,6 +151,21 @@ pub trait Rig {
     fn coverage(&self) -> f64 {
         1.0
     }
+
+    /// End-of-run component counters (PWC, allocator, OS layer) for the
+    /// telemetry probe. Must be read-only: the engine calls this after
+    /// the last access, and a telemetry-on run must stay bit-identical
+    /// to a telemetry-off run.
+    fn component_counters(&self) -> ComponentCounters {
+        ComponentCounters::default()
+    }
+
+    /// Read-only memory-health snapshot for the periodic sampler:
+    /// `(fragmentation index at the 2 MiB order, resident data frames)`.
+    /// `None` when the rig exposes no allocator.
+    fn frag_sample(&self) -> Option<(f64, u64)> {
+        None
+    }
 }
 
 impl Rig for Box<dyn Rig> {
@@ -187,6 +203,14 @@ impl Rig for Box<dyn Rig> {
 
     fn coverage(&self) -> f64 {
         (**self).coverage()
+    }
+
+    fn component_counters(&self) -> ComponentCounters {
+        (**self).component_counters()
+    }
+
+    fn frag_sample(&self) -> Option<(f64, u64)> {
+        (**self).frag_sample()
     }
 }
 

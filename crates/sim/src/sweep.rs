@@ -10,9 +10,10 @@
 //! [`SweepRow`], never in [`RunStats`]). The test suite enforces this.
 
 use crate::engine::RunStats;
-use crate::experiments::{run_one, scaled_benchmarks, Scale};
-use crate::report::Json;
+use crate::experiments::{run_one_with_telemetry, scaled_benchmarks, telemetry_enabled, Scale};
+use crate::report::{telemetry_json, Json};
 use crate::rig::{Design, Env};
+use dmt_telemetry::Telemetry;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -33,6 +34,9 @@ pub struct SweepConfig {
     pub scale: Scale,
     /// Worker threads; `0` means all available cores.
     pub threads: usize,
+    /// Capture telemetry per row (histograms, counters, time-series).
+    /// Defaults to the `DMT_TELEMETRY=1` opt-in.
+    pub telemetry: bool,
 }
 
 impl Default for SweepConfig {
@@ -54,6 +58,7 @@ impl Default for SweepConfig {
             benchmarks: (0..7).collect(),
             scale: Scale::default(),
             threads: 0,
+            telemetry: telemetry_enabled(),
         }
     }
 }
@@ -69,6 +74,7 @@ impl SweepConfig {
             benchmarks: vec![2, 3], // GUPS, BTree
             scale: Scale::test(),
             threads: 0,
+            telemetry: telemetry_enabled(),
         }
     }
 }
@@ -108,6 +114,11 @@ pub struct SweepRow {
     pub wall_nanos: u64,
     /// Measured accesses replayed per host second.
     pub accesses_per_sec: f64,
+    /// Telemetry captured during the run (when the config asked for
+    /// it). Deterministic, but compared separately from [`outcome`]
+    /// (`SweepRow::outcome`) so the `RunStats` invariant stays
+    /// telemetry-agnostic.
+    pub telemetry: Option<Telemetry>,
 }
 
 impl SweepRow {
@@ -159,13 +170,13 @@ pub fn matrix(cfg: &SweepConfig) -> Vec<SweepJob> {
     jobs
 }
 
-fn run_job(job: SweepJob, scale: Scale) -> Result<SweepRow, String> {
+fn run_job(job: SweepJob, scale: Scale, telemetry: bool) -> Result<SweepRow, String> {
     let started = Instant::now();
     let benches = scaled_benchmarks(scale, job.thp);
     let w = benches
         .get(job.bench)
         .ok_or_else(|| format!("benchmark index {} out of range", job.bench))?;
-    let m = run_one(job.env, job.design, job.thp, w.as_ref(), scale)?;
+    let m = run_one_with_telemetry(job.env, job.design, job.thp, w.as_ref(), scale, telemetry)?;
     let wall_nanos = started.elapsed().as_nanos() as u64;
     let secs = wall_nanos as f64 / 1e9;
     Ok(SweepRow {
@@ -175,6 +186,7 @@ fn run_job(job: SweepJob, scale: Scale) -> Result<SweepRow, String> {
         thp: m.thp,
         stats: m.stats,
         coverage: m.coverage,
+        telemetry: m.telemetry,
         wall_nanos,
         accesses_per_sec: if secs > 0.0 {
             m.stats.accesses as f64 / secs
@@ -212,7 +224,7 @@ pub fn sweep(cfg: &SweepConfig) -> Result<SweepReport, String> {
             s.spawn(|| loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(&job) = jobs.get(i) else { break };
-                let out = run_job(job, scale);
+                let out = run_job(job, scale, cfg.telemetry);
                 slots.lock().expect("no poisoned workers")[i] = Some(out);
             });
         }
@@ -239,7 +251,7 @@ pub fn sweep_serial(cfg: &SweepConfig) -> Result<SweepReport, String> {
     let started = Instant::now();
     let mut rows = Vec::new();
     for job in matrix(cfg) {
-        rows.push(run_job(job, cfg.scale)?);
+        rows.push(run_job(job, cfg.scale, cfg.telemetry)?);
     }
     Ok(SweepReport {
         rows,
@@ -261,7 +273,7 @@ impl SweepReport {
                     self.rows
                         .iter()
                         .map(|r| {
-                            Json::obj()
+                            let mut row = Json::obj()
                                 .set("workload", Json::Str(r.workload.clone()))
                                 .set("env", Json::Str(r.env.name().into()))
                                 .set("design", Json::Str(r.design.name().into()))
@@ -281,7 +293,11 @@ impl SweepReport {
                                 .set("miss_ratio", Json::F64(r.stats.miss_ratio()))
                                 .set("coverage", Json::F64(r.coverage))
                                 .set("wall_nanos", Json::U64(r.wall_nanos))
-                                .set("accesses_per_sec", Json::F64(r.accesses_per_sec))
+                                .set("accesses_per_sec", Json::F64(r.accesses_per_sec));
+                            if let Some(t) = &r.telemetry {
+                                row = row.set("telemetry", telemetry_json(t));
+                            }
+                            row
                         })
                         .collect(),
                 ),
@@ -326,6 +342,7 @@ mod tests {
             benchmarks: vec![0],
             scale: Scale::test(),
             threads: 1,
+            telemetry: false,
         };
         let jobs = matrix(&cfg);
         assert!(jobs.iter().all(|j| j.design.available_in(j.env)));

@@ -10,6 +10,7 @@ use dmt_cache::hierarchy::MemoryHierarchy;
 use dmt_core::DmtError;
 use dmt_mem::buddy::FrameKind;
 use dmt_mem::{PageSize, Pfn, PhysAddr, VirtAddr};
+use dmt_telemetry::ComponentCounters;
 use dmt_virt::machine::{GuestTeaMode, VirtMachine};
 use dmt_workloads::gen::Workload;
 
@@ -512,5 +513,35 @@ impl Rig for VirtRig {
 
     fn coverage(&self) -> f64 {
         VirtRig::coverage(self)
+    }
+
+    fn component_counters(&self) -> ComponentCounters {
+        let mut c = ComponentCounters::default();
+        // Host-side PWC population depends on the design: 2D walks use
+        // the guest+nested pair, shadow paging its own instance. Sum
+        // whatever exists — absent caches contribute nothing.
+        let pwcs = [
+            self.m.nested_caches.guest_pwc.as_ref().map(|p| p.stats()),
+            self.m.nested_caches.nested_pwc.as_ref().map(|p| p.stats()),
+            Some(self.m.shadow_pwc.stats()),
+        ];
+        for s in pwcs.into_iter().flatten() {
+            c.pwc_l2_hits += s.l2_hits;
+            c.pwc_l3_hits += s.l3_hits;
+            c.pwc_l4_hits += s.l4_hits;
+            c.pwc_misses += s.misses;
+        }
+        let alloc = self.m.pm.buddy().alloc_counters();
+        c.alloc_splits = alloc.splits;
+        c.alloc_merges = alloc.merges;
+        c.compactions = alloc.compactions;
+        c
+    }
+
+    fn frag_sample(&self) -> Option<(f64, u64)> {
+        let b = self.m.pm.buddy();
+        let rss =
+            b.allocated_of_kind(FrameKind::Data) + b.allocated_of_kind(FrameKind::HugeData);
+        Some((dmt_mem::frag::fragmentation_index(b, 9), rss))
     }
 }

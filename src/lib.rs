@@ -11,6 +11,7 @@ pub use dmt_oracle as oracle;
 pub use dmt_os as os;
 pub use dmt_pgtable as pgtable;
 pub use dmt_sim as sim;
+pub use dmt_telemetry as telemetry;
 pub use dmt_trace as trace;
 pub use dmt_virt as virt;
 pub use dmt_workloads as workloads;

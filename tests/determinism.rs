@@ -4,10 +4,12 @@
 //! what makes sweep results reproducible and the oracle's divergence
 //! indices stable across reruns.
 
-use dmt::sim::engine::{run, RunStats};
+use dmt::sim::engine::{run, run_probed, RunStats};
 use dmt::sim::native_rig::NativeRig;
+use dmt::sim::sweep::{matrix, sweep, sweep_serial, SweepConfig};
 use dmt::sim::virt_rig::VirtRig;
 use dmt::sim::Design;
+use dmt::telemetry::Telemetry;
 use dmt::workloads::bench7::Gups;
 use dmt::workloads::gen::Workload;
 
@@ -47,6 +49,63 @@ fn virt_cell_is_deterministic() {
     let (stats_b, hash_b) = virt_cell();
     assert_eq!(stats_a, stats_b);
     assert_eq!(hash_a, hash_b);
+}
+
+/// `native_cell` with the probed engine and a live telemetry recorder.
+fn native_cell_probed(design: Design) -> (RunStats, u64, Telemetry) {
+    let w = Gups {
+        table_bytes: 32 << 20,
+    };
+    let trace = w.trace(6_000, SEED);
+    let mut rig = NativeRig::new(design, false, &w, &trace).unwrap();
+    let mut t = Telemetry::with_interval(1_000);
+    let stats = run_probed(&mut rig, &trace, 1_000, &mut t);
+    (stats, rig.phys().buddy().state_hash(), t)
+}
+
+#[test]
+fn telemetry_does_not_perturb_the_simulation() {
+    // The probe must be a pure observer: a telemetry-on run produces
+    // bit-identical RunStats AND an identical allocator end state to a
+    // telemetry-off run of the same seeded cell.
+    let (stats_off, hash_off) = native_cell(Design::Dmt);
+    let (stats_on, hash_on, t) = native_cell_probed(Design::Dmt);
+    assert_eq!(stats_on, stats_off, "probe must not change RunStats");
+    assert_eq!(hash_on, hash_off, "probe must not change allocator state");
+    // ...while actually recording: the histograms mirror the stats.
+    assert_eq!(t.walk_latency.count(), stats_off.walks);
+    assert_eq!(t.walk_latency.sum(), stats_off.walk_cycles);
+    assert_eq!(t.data_latency.count(), stats_off.accesses);
+    assert!(!t.series.is_empty(), "periodic sampler must have fired");
+}
+
+#[test]
+fn telemetry_runs_are_seed_deterministic() {
+    let (sa, ha, ta) = native_cell_probed(Design::Dmt);
+    let (sb, hb, tb) = native_cell_probed(Design::Dmt);
+    assert_eq!(sa, sb);
+    assert_eq!(ha, hb);
+    assert_eq!(ta, tb, "telemetry itself must be seed-deterministic");
+}
+
+#[test]
+fn parallel_sweep_telemetry_matches_serial() {
+    // Telemetry rides the parallel sweep without breaking its exactness
+    // guarantee: per-row recorders (histograms, counters, time-series)
+    // from 4 workers equal the serial reference's, and RunStats equality
+    // still holds with capture enabled.
+    let mut cfg = SweepConfig::test();
+    cfg.telemetry = true;
+    cfg.threads = 4;
+    let par = sweep(&cfg).unwrap();
+    let ser = sweep_serial(&cfg).unwrap();
+    assert_eq!(par.rows.len(), matrix(&cfg).len());
+    for (p, s) in par.rows.iter().zip(&ser.rows) {
+        assert_eq!(p.outcome(), s.outcome());
+        let (pt, st) = (p.telemetry.as_ref().unwrap(), s.telemetry.as_ref().unwrap());
+        assert_eq!(pt, st, "row {}/{:?}: parallel telemetry != serial", p.workload, p.design);
+        assert!(pt.walk_latency.count() > 0, "telemetry rows must be populated");
+    }
 }
 
 #[test]
