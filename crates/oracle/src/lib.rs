@@ -51,14 +51,23 @@ fn checked_boxed(rig: Box<dyn Rig>) -> Box<dyn Rig> {
     Box::new(Checked::new(rig))
 }
 
-/// When `DMT_ORACLE=1` is set, install the oracle as the process-wide
-/// rig wrapper (see [`dmt_sim::install_rig_wrapper`]): every rig built
-/// by the experiment runners and sweeps is then checked on every
-/// translation. Returns `true` if the wrapper was installed by this
-/// call; `false` when the variable is unset/other or a wrapper was
+/// The oracle as an explicit rig wrapper, for
+/// `Runner::builder().rig_wrapper(dmt_oracle::wrapper())` — the
+/// constructor-input path that needs no process-wide registry and no
+/// environment variable.
+pub fn wrapper() -> dmt_sim::experiments::RigWrapper {
+    checked_boxed
+}
+
+/// When `DMT_ORACLE=1` is set (per [`dmt_sim::env_config`], the
+/// workspace's single environment-read site), install the oracle as the
+/// process-wide rig wrapper (see [`dmt_sim::install_rig_wrapper`]):
+/// every rig built by the experiment runners and sweeps is then checked
+/// on every translation. Returns `true` if the wrapper was installed by
+/// this call; `false` when the variable is unset/other or a wrapper was
 /// already installed.
 pub fn install_from_env() -> bool {
-    if std::env::var("DMT_ORACLE").map(|v| v == "1").unwrap_or(false) {
+    if dmt_sim::env_config().oracle {
         dmt_sim::install_rig_wrapper(checked_boxed)
     } else {
         false

@@ -302,7 +302,7 @@ pub struct PwcPoint {
 /// # Errors
 ///
 /// Propagates setup failures.
-pub fn pwc_sweep(footprint: u64, entries: &[u64], trace_len: usize) -> Result<Vec<PwcPoint>, String> {
+pub fn pwc_sweep(footprint: u64, entries: &[u64], trace_len: usize) -> Result<Vec<PwcPoint>, crate::error::SimError> {
     use dmt_cache::hierarchy::MemoryHierarchy;
     use dmt_cache::pwc::{PageWalkCache, PwcConfig};
     use dmt_cache::tlb::Tlb;

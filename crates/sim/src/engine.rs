@@ -19,7 +19,7 @@
 use crate::rig::Rig;
 use dmt_cache::hierarchy::{HitLevel, MemoryHierarchy};
 use dmt_cache::tlb::{Tlb, TlbHit};
-use dmt_telemetry::{MemLevel, NoopProbe, Probe, TlbPath};
+use dmt_telemetry::{MemLevel, Probe, TlbPath};
 use dmt_workloads::gen::Access;
 use std::borrow::Borrow;
 
@@ -79,12 +79,16 @@ impl RunStats {
 /// The trace is any stream of accesses — a `&[Access]` slice, a
 /// `Vec<Access>`, or a streaming decoder yielding owned `Access`es — so
 /// replays never need to materialize a disk-scale trace in memory.
+///
+/// A migration shim over [`crate::runner::Runner::replay`] with the
+/// inert default runner (no telemetry, no wrapper) — bit-identical to
+/// the historical direct loop, which the test suite pins.
 pub fn run<I>(rig: &mut dyn Rig, trace: I, warmup: usize) -> RunStats
 where
     I: IntoIterator,
     I::Item: Borrow<Access>,
 {
-    run_probed(rig, trace, warmup, &mut NoopProbe)
+    crate::runner::Runner::builder().build().replay(rig, trace, warmup).0
 }
 
 fn mem_level(l: HitLevel) -> MemLevel {

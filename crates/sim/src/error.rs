@@ -1,0 +1,108 @@
+//! The typed error for everything in `dmt-sim` that can fail.
+//!
+//! One hand-rolled enum (no external error crates — the registry is
+//! offline) replaces the `Result<_, String>` plumbing that used to run
+//! through experiments, sweeps, ablations and overheads. The `Display`
+//! impls keep the exact message text the stringly-typed versions
+//! produced, so error-message assertions written against the old API
+//! keep passing.
+
+use core::fmt;
+use std::io;
+
+/// Everything that can go wrong building rigs, materializing traces, or
+/// driving a sweep.
+///
+/// `Clone` is deliberate: sweep workers store per-job results in shared
+/// slots, and a failed materialization is reported to every job that
+/// needed that trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Rig / process / machine construction failed (mmap, populate,
+    /// register load, ...). Carries the underlying message verbatim.
+    Setup(String),
+    /// A benchmark index was outside the suite.
+    BenchIndex {
+        /// The offending index.
+        index: usize,
+        /// Number of benchmarks in the suite.
+        count: usize,
+    },
+    /// A sweep configuration expands to zero jobs.
+    EmptyMatrix,
+    /// Trace encode/decode failed (spill-to-disk or reload).
+    Trace(String),
+    /// Filesystem I/O outside the trace codec (results dir, spill dir).
+    Io(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            // Verbatim: `Setup` wraps what used to be the whole string
+            // error, so existing message assertions still match.
+            SimError::Setup(msg) => write!(f, "{msg}"),
+            // Same prefix run_job used to format.
+            SimError::BenchIndex { index, count } => {
+                write!(f, "benchmark index {index} out of range (suite has {count})")
+            }
+            SimError::EmptyMatrix => {
+                write!(f, "sweep config expands to an empty matrix: no jobs to run")
+            }
+            SimError::Trace(msg) => write!(f, "trace error: {msg}"),
+            SimError::Io(msg) => write!(f, "I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<String> for SimError {
+    fn from(msg: String) -> Self {
+        SimError::Setup(msg)
+    }
+}
+
+impl From<&str> for SimError {
+    fn from(msg: &str) -> Self {
+        SimError::Setup(msg.to_string())
+    }
+}
+
+impl From<io::Error> for SimError {
+    fn from(e: io::Error) -> Self {
+        SimError::Io(e.to_string())
+    }
+}
+
+impl From<dmt_trace::TraceError> for SimError {
+    fn from(e: dmt_trace::TraceError) -> Self {
+        SimError::Trace(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_keep_the_legacy_message_text() {
+        let e = SimError::Setup("mmap failed: out of memory".into());
+        assert_eq!(e.to_string(), "mmap failed: out of memory");
+        let e = SimError::BenchIndex { index: 9, count: 7 };
+        assert!(e.to_string().starts_with("benchmark index 9 out of range"));
+        assert!(SimError::EmptyMatrix.to_string().contains("empty matrix"));
+    }
+
+    #[test]
+    fn conversions_cover_the_plumbing() {
+        let e: SimError = "short".into();
+        assert_eq!(e, SimError::Setup("short".into()));
+        let e: SimError = io::Error::other("disk fell off").into();
+        assert!(matches!(&e, SimError::Io(m) if m.contains("disk fell off")));
+        let e: SimError = dmt_trace::TraceError::ChecksumMismatch.into();
+        assert!(matches!(&e, SimError::Trace(m) if m.contains("checksum")));
+        // It is a std error, usable behind `Box<dyn Error>`.
+        let _boxed: Box<dyn std::error::Error> = Box::new(SimError::EmptyMatrix);
+    }
+}

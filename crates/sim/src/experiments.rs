@@ -4,13 +4,13 @@
 //! performance model, and returns structured rows; `dmt-bench` and the
 //! examples print them via [`crate::report`].
 
-use crate::engine::{run, run_probed, RunStats};
-use crate::native_rig::NativeRig;
-use crate::nested_rig::NestedRig;
+use crate::engine::RunStats;
+use crate::error::SimError;
 use crate::perfmodel::{app_speedup, calib_for, exit_ratio, geomean};
 use crate::rig::{Design, Env, Rig};
+use crate::runner::Runner;
 use crate::virt_rig::VirtRig;
-use dmt_workloads::bench7::{BTree, Canneal, Graph500, Gups, Memcached, Redis, XsBench};
+use dmt_workloads::bench7::Redis;
 use dmt_workloads::gen::Workload;
 
 /// Workload scaling for the experiments: footprints are divided by
@@ -62,40 +62,20 @@ impl Scale {
     }
 }
 
+/// Benchmark `i` (paper order) at the given scale and page-size mode,
+/// constructed alone — sweep jobs use this instead of building all
+/// seven workloads just to index one. `None` when `i` is out of range.
+pub fn scaled_benchmark(i: usize, scale: Scale, thp: bool) -> Option<Box<dyn Workload>> {
+    let f = if thp { scale.thp_mult } else { scale.mult4k };
+    dmt_workloads::bench7::nth_benchmark(i, f)
+}
+
 /// The seven benchmarks at the given scale and page-size mode, in the
 /// paper's order.
 pub fn scaled_benchmarks(scale: Scale, thp: bool) -> Vec<Box<dyn Workload>> {
-    let f = |v: u64| v * if thp { scale.thp_mult } else { scale.mult4k };
-    vec![
-        Box::new(Redis {
-            records: f(1 << 20),
-            ..Redis::default()
-        }) as Box<dyn Workload>,
-        Box::new(Memcached {
-            slabs: 64,
-            slab_bytes: f(4 << 20),
-            ..Memcached::default()
-        }),
-        Box::new(Gups {
-            table_bytes: f(256 << 20),
-        }),
-        Box::new(BTree {
-            nodes: f(1 << 21),
-            ..BTree::default()
-        }),
-        Box::new(Canneal {
-            elements: f(2 << 20),
-            ..Canneal::default()
-        }),
-        Box::new(XsBench {
-            gridpoints: f(1 << 16),
-            ..XsBench::default()
-        }),
-        Box::new(Graph500 {
-            vertices: f(1 << 21),
-            ..Graph500::default()
-        }),
-    ]
+    (0..dmt_workloads::bench7::BENCH7_COUNT)
+        .map(|i| scaled_benchmark(i, scale, thp).expect("suite indices are in range"))
+        .collect()
 }
 
 /// One (workload, design) measurement.
@@ -122,36 +102,21 @@ pub struct Measurement {
 /// `Checked` adapter).
 pub type RigWrapper = fn(Box<dyn Rig>) -> Box<dyn Rig>;
 
-/// A hook wrapping every rig before it runs — the oracle's entry point
-/// into the sweep/experiment drivers. Installed at most once per
-/// process (e.g. from `DMT_ORACLE=1` handling); `None` means rigs run
-/// unwrapped, with zero added work on the hot path.
-static RIG_WRAPPER: std::sync::OnceLock<RigWrapper> = std::sync::OnceLock::new();
-
-/// Install a process-wide rig wrapper (e.g. the differential oracle's
-/// `Checked` adapter). Returns `false` if a wrapper was already
-/// installed (the first one wins).
-pub fn install_rig_wrapper(wrapper: RigWrapper) -> bool {
-    RIG_WRAPPER.set(wrapper).is_ok()
-}
-
-fn wrap_rig(rig: Box<dyn Rig>) -> Box<dyn Rig> {
-    match RIG_WRAPPER.get() {
-        Some(w) => w(rig),
-        None => rig,
-    }
-}
+// The process-wide wrapper registry lives with the rest of the ambient
+// configuration in `runner`; re-exported here for source compatibility.
+pub use crate::runner::install_rig_wrapper;
 
 /// Whether `DMT_TELEMETRY=1` opted this process into telemetry capture
-/// (mirrors the oracle's `DMT_ORACLE=1` hook; read once).
+/// (resolved once by [`crate::runner::env_config`], the workspace's one
+/// environment-read site).
 pub fn telemetry_enabled() -> bool {
-    static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-    *ENABLED.get_or_init(|| {
-        std::env::var("DMT_TELEMETRY").map(|v| v == "1").unwrap_or(false)
-    })
+    crate::runner::env_config().telemetry
 }
 
-/// Run one (env, design, thp, workload) configuration.
+/// Run one (env, design, thp, workload) configuration with the
+/// environment-configured [`Runner`] — a migration shim; equivalent to
+/// `Runner::from_env().run_one(...)` and bit-identical to the historical
+/// free function.
 ///
 /// # Errors
 ///
@@ -162,14 +127,17 @@ pub fn run_one(
     thp: bool,
     w: &dyn Workload,
     scale: Scale,
-) -> Result<Measurement, String> {
-    run_one_with_telemetry(env, design, thp, w, scale, telemetry_enabled())
+) -> Result<Measurement, SimError> {
+    Runner::from_env().run_one(env, design, thp, w, scale)
 }
 
-/// [`run_one`] with explicit control over telemetry capture. When
-/// `telemetry` is true the run goes through the probed engine with a
-/// live recorder (sampling fragmentation/RSS ~32 times over the trace);
-/// the `RunStats` are bit-identical either way.
+/// [`run_one`] with explicit control over telemetry capture (the
+/// `RunStats` are bit-identical either way) — a migration shim over
+/// [`Runner::run_one`].
+///
+/// # Errors
+///
+/// Propagates rig construction failures.
 pub fn run_one_with_telemetry(
     env: Env,
     design: Design,
@@ -177,30 +145,10 @@ pub fn run_one_with_telemetry(
     w: &dyn Workload,
     scale: Scale,
     telemetry: bool,
-) -> Result<Measurement, String> {
-    let trace = w.trace(scale.total(), 0xD317 ^ design as u64);
-    let mut rig: Box<dyn Rig> = wrap_rig(match env {
-        Env::Native => Box::new(NativeRig::new(design, thp, w, &trace)?),
-        Env::Virt => Box::new(VirtRig::new(design, thp, w, &trace)?),
-        Env::Nested => Box::new(NestedRig::new(design, thp, w, &trace)?),
-    });
-    let (stats, telemetry) = if telemetry {
-        let mut t = dmt_telemetry::Telemetry::with_interval((scale.total() as u64 / 32).max(1));
-        let stats = run_probed(rig.as_mut(), &trace, scale.warmup, &mut t);
-        (stats, Some(t))
-    } else {
-        (run(rig.as_mut(), &trace, scale.warmup), None)
-    };
-    let coverage = rig.coverage();
-    Ok(Measurement {
-        workload: w.name().to_string(),
-        design,
-        env,
-        thp,
-        stats,
-        coverage,
-        telemetry,
-    })
+) -> Result<Measurement, SimError> {
+    let mut runner = Runner::from_env();
+    runner.telemetry = telemetry;
+    runner.run_one(env, design, thp, w, scale)
 }
 
 /// One speedup row of Figures 14/15/17.
@@ -287,7 +235,7 @@ fn figure(
     env: Env,
     designs: &[Design],
     scale: Scale,
-) -> Result<FigureData, String> {
+) -> Result<FigureData, SimError> {
     let mut modes = Vec::new();
     for thp in [false, true] {
         let mut rows = Vec::new();
@@ -309,7 +257,7 @@ fn figure(
 /// # Errors
 ///
 /// Propagates rig failures.
-pub fn fig14(scale: Scale) -> Result<FigureData, String> {
+pub fn fig14(scale: Scale) -> Result<FigureData, SimError> {
     figure(
         "Figure 14 (native)",
         Env::Native,
@@ -324,7 +272,7 @@ pub fn fig14(scale: Scale) -> Result<FigureData, String> {
 /// # Errors
 ///
 /// Propagates rig failures.
-pub fn fig15(scale: Scale) -> Result<FigureData, String> {
+pub fn fig15(scale: Scale) -> Result<FigureData, SimError> {
     figure(
         "Figure 15 (virtualized)",
         Env::Virt,
@@ -346,7 +294,7 @@ pub fn fig15(scale: Scale) -> Result<FigureData, String> {
 /// # Errors
 ///
 /// Propagates rig failures.
-pub fn fig17(scale: Scale) -> Result<FigureData, String> {
+pub fn fig17(scale: Scale) -> Result<FigureData, SimError> {
     figure(
         "Figure 17 (nested virtualization)",
         Env::Nested,
@@ -380,7 +328,7 @@ pub struct Fig4Row {
 /// # Errors
 ///
 /// Propagates rig failures.
-pub fn fig4(scale: Scale) -> Result<Vec<Fig4Row>, String> {
+pub fn fig4(scale: Scale) -> Result<Vec<Fig4Row>, SimError> {
     let mut rows = Vec::new();
     for w in scaled_benchmarks(scale, false) {
         let calib = calib_for(w.name());
@@ -427,7 +375,7 @@ pub struct Fig16Step {
 /// # Errors
 ///
 /// Propagates rig failures.
-pub fn fig16(thp: bool, scale: Scale) -> Result<(Vec<Fig16Step>, Vec<Fig16Step>), String> {
+pub fn fig16(thp: bool, scale: Scale) -> Result<(Vec<Fig16Step>, Vec<Fig16Step>), SimError> {
     use dmt_cache::hierarchy::MemoryHierarchy;
     use dmt_cache::tlb::Tlb;
     let w = Redis {
@@ -594,7 +542,7 @@ pub fn table6() -> Vec<Table6Row> {
 /// # Errors
 ///
 /// Propagates setup failures.
-pub fn ext_5level(scale: Scale) -> Result<(f64, f64, f64), String> {
+pub fn ext_5level(scale: Scale) -> Result<(f64, f64, f64), SimError> {
     use dmt_cache::hierarchy::MemoryHierarchy;
     use dmt_cache::pwc::PageWalkCache;
     use dmt_cache::tlb::Tlb;
@@ -643,7 +591,7 @@ pub fn ext_5level(scale: Scale) -> Result<(f64, f64, f64), String> {
     let trace = w.trace(scale.total(), 0x5135);
     let pages = crate::rig::touched_pages(&trace);
 
-    let run = |levels: u8, dmt: bool| -> Result<f64, String> {
+    let run = |levels: u8, dmt: bool| -> Result<f64, SimError> {
         let touched = (pages.len() as u64) << 12;
         let mut pm = PhysMemory::new_bytes(touched * 2 + (512 << 20));
         let mut proc_ = Process::custom(
@@ -720,7 +668,7 @@ pub fn ext_5level(scale: Scale) -> Result<(f64, f64, f64), String> {
 pub fn ext_context_switch(
     scale: Scale,
     quantum: usize,
-) -> Result<(u64, u64, f64), String> {
+) -> Result<(u64, u64, f64), SimError> {
     use dmt_cache::hierarchy::MemoryHierarchy;
     use dmt_cache::pwc::PageWalkCache;
     use dmt_cache::tlb::Tlb;
@@ -751,7 +699,7 @@ pub fn ext_context_switch(
     let touched = ((pages0.len() + pages1.len()) as u64) << 12;
     let mut pm = PhysMemory::new_bytes(touched * 2 + (512 << 20));
 
-    let mut build = |pages: &[VirtAddr], base: u64| -> Result<Process, String> {
+    let mut build = |pages: &[VirtAddr], base: u64| -> Result<Process, SimError> {
         let mut p = Process::new(&mut pm, ThpMode::Never).map_err(|e| e.to_string())?;
         for r in w.regions() {
             p.mmap(&mut pm, VirtAddr(r.base.raw() + base), r.len, VmaKind::Heap)
@@ -766,7 +714,7 @@ pub fn ext_context_switch(
     let traces = [&t0, &t1];
 
     #[allow(clippy::needless_range_loop)] // `i` drives both the quantum and per-process trace indexing
-    let mut run = |dmt: bool| -> Result<(u64, f64), String> {
+    let mut run = |dmt: bool| -> Result<(u64, f64), SimError> {
         let mut tlb = Tlb::default();
         let mut hier = MemoryHierarchy::default();
         let mut pwc = PageWalkCache::default();
@@ -804,7 +752,7 @@ pub fn ext_context_switch(
                             .map_err(|e| e.to_string())?;
                             (out.cycles, out.size)
                         }
-                        Err(e) => return Err(e.to_string()),
+                        Err(e) => return Err(e.to_string().into()),
                     }
                 } else {
                     let out = walk_dimension(

@@ -12,8 +12,12 @@
 //! * [`overheads`] — the §6.3 management/hypercall/memory overheads.
 //! * [`ablation`] — design-choice sweeps (register count, bubble
 //!   threshold, register policy, eager allocation).
-//! * [`sweep`] — parallel (env × design × THP × benchmark) sweeps with
-//!   JSON reports.
+//! * [`runner`] — the unified [`runner::Runner`] entry point, the
+//!   shared-trace materialization stage, and the workspace's single
+//!   environment-read site ([`runner::env_config`]).
+//! * [`sweep`] — parallel (env × design × THP × benchmark) sweeps over
+//!   the shared trace pool, with JSON reports.
+//! * [`error`] — the [`error::SimError`] taxonomy.
 //! * [`report`] — ASCII tables and the hand-rolled JSON value.
 //!
 //! # Example
@@ -31,6 +35,7 @@
 
 pub mod ablation;
 pub mod engine;
+pub mod error;
 pub mod experiments;
 pub mod native_rig;
 pub mod nested_rig;
@@ -38,12 +43,15 @@ pub mod overheads;
 pub mod perfmodel;
 pub mod report;
 pub mod rig;
+pub mod runner;
 pub mod sweep;
 pub mod virt_rig;
 
 pub use engine::{ratio, run, run_probed, RunStats};
+pub use error::SimError;
 pub use experiments::{
     fig14, fig15, fig16, fig17, install_rig_wrapper, table5, table6, telemetry_enabled, Scale,
 };
 pub use rig::{Design, Env, RefEntry, Rig, Setup, Translation};
+pub use runner::{env_config, EnvConfig, Runner, RunnerBuilder, TraceSet};
 pub use sweep::{sweep, sweep_serial, SweepConfig, SweepReport, SweepRow};

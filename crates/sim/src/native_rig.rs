@@ -63,13 +63,13 @@ impl NativeRig {
     ///
     /// # Errors
     ///
-    /// Propagates setup failures as strings (rigs are experiment code).
+    /// Propagates setup failures as typed [`SimError`](crate::error::SimError)s.
     pub fn new(
         design: Design,
         thp: bool,
         workload: &dyn Workload,
         trace: &[dmt_workloads::gen::Access],
-    ) -> Result<Self, String> {
+    ) -> Result<Self, crate::error::SimError> {
         Self::with_setup(design, thp, &crate::rig::Setup::of_workload(workload, trace))
     }
 
@@ -79,8 +79,8 @@ impl NativeRig {
     ///
     /// # Errors
     ///
-    /// Propagates setup failures as strings.
-    pub fn with_setup(design: Design, thp: bool, setup: &crate::rig::Setup) -> Result<Self, String> {
+    /// Propagates setup failures as typed [`SimError`](crate::error::SimError)s.
+    pub fn with_setup(design: Design, thp: bool, setup: &crate::rig::Setup) -> Result<Self, crate::error::SimError> {
         assert!(design.available_in(Env::Native), "{design:?} has no native mode");
         let footprint = setup.footprint();
         // Only touched pages are materialized; the rest is metadata.

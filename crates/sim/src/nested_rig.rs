@@ -26,13 +26,13 @@ impl NestedRig {
     ///
     /// # Errors
     ///
-    /// Propagates setup failures as strings.
+    /// Propagates setup failures as typed [`SimError`](crate::error::SimError)s.
     pub fn new(
         design: Design,
         thp: bool,
         workload: &dyn Workload,
         trace: &[dmt_workloads::gen::Access],
-    ) -> Result<Self, String> {
+    ) -> Result<Self, crate::error::SimError> {
         Self::with_setup(design, thp, &crate::rig::Setup::of_workload(workload, trace))
     }
 
@@ -42,8 +42,8 @@ impl NestedRig {
     ///
     /// # Errors
     ///
-    /// Propagates setup failures as strings.
-    pub fn with_setup(design: Design, thp: bool, setup: &crate::rig::Setup) -> Result<Self, String> {
+    /// Propagates setup failures as typed [`SimError`](crate::error::SimError)s.
+    pub fn with_setup(design: Design, thp: bool, setup: &crate::rig::Setup) -> Result<Self, crate::error::SimError> {
         assert!(design.available_in(Env::Nested));
         let footprint = setup.footprint();
         let pages = &setup.pages;

@@ -38,7 +38,7 @@ pub struct MgmtOverhead {
 /// # Errors
 ///
 /// Propagates setup failures.
-pub fn management_overhead(vma_mb: u64) -> Result<MgmtOverhead, String> {
+pub fn management_overhead(vma_mb: u64) -> Result<MgmtOverhead, crate::error::SimError> {
     let mut pm = PhysMemory::new_bytes((vma_mb * 3).max(512) << 20);
     let mut frag = Fragmenter::new();
     frag.fragment(pm.buddy_mut(), 0.30).map_err(|e| e.to_string())?;
@@ -91,7 +91,7 @@ pub struct HypercallCost {
 /// # Errors
 ///
 /// Propagates setup failures.
-pub fn hypercall_overhead(tea_mbs: &[u64], nested: bool) -> Result<Vec<HypercallCost>, String> {
+pub fn hypercall_overhead(tea_mbs: &[u64], nested: bool) -> Result<Vec<HypercallCost>, crate::error::SimError> {
     let mut out = Vec::new();
     for &mb in tea_mbs {
         // The TEA itself is VMA/512; size the machine accordingly.
@@ -155,8 +155,8 @@ impl MemoryOverhead {
 /// # Errors
 ///
 /// Propagates setup failures.
-pub fn memory_overhead(mapped_mb: u64, touched_percent: u64) -> Result<MemoryOverhead, String> {
-    let measure = |dmt: bool| -> Result<u64, String> {
+pub fn memory_overhead(mapped_mb: u64, touched_percent: u64) -> Result<MemoryOverhead, crate::error::SimError> {
+    let measure = |dmt: bool| -> Result<u64, crate::error::SimError> {
         let mut pm = PhysMemory::new_bytes((mapped_mb * 3) << 20);
         let mut proc_ = if dmt {
             Process::new(&mut pm, ThpMode::Never)

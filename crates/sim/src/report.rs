@@ -67,11 +67,10 @@ impl fmt::Display for Table {
 /// The base directory reports are written to: `$DMT_RESULTS_DIR` when
 /// set (tests point it at a unique temp dir to avoid clobbering the
 /// repo's `results/` under parallel `cargo test`), `results` otherwise.
+/// Resolved once by [`crate::runner::env_config`] — the workspace's one
+/// environment-read site.
 pub fn results_dir() -> std::path::PathBuf {
-    match std::env::var_os("DMT_RESULTS_DIR") {
-        Some(dir) if !dir.is_empty() => std::path::PathBuf::from(dir),
-        _ => std::path::PathBuf::from("results"),
-    }
+    crate::runner::env_config().results_dir.clone()
 }
 
 impl Table {

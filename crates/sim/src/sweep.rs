@@ -1,25 +1,39 @@
-//! Parallel experiment sweeps: fan the (environment × design × THP ×
-//! benchmark) matrix across cores with `std::thread::scope` — no thread
-//! pool dependency — and emit a machine-readable JSON report.
+//! Parallel experiment sweeps over a shared trace pool: the
+//! (environment × design × THP × benchmark) matrix fans out across
+//! cores with `std::thread::scope` — no thread pool dependency — and
+//! emits a machine-readable JSON report.
 //!
-//! Every job is an independent `(rig, trace)` pair, so the sweep is
-//! embarrassingly parallel; workers claim jobs off a shared atomic
-//! cursor. Determinism is a hard invariant: a parallel sweep's
-//! [`RunStats`] are bit-identical to the serial path's (the engine and
-//! rigs share no state across jobs, and wall-clock timing lives in
-//! [`SweepRow`], never in [`RunStats`]). The test suite enforces this.
+//! Jobs share the materialization stage: every (benchmark, THP) trace
+//! and its `Setup` are generated exactly once into a
+//! [`TraceSet`](crate::runner::TraceSet) and replayed by all the
+//! (env × design) jobs that need them — a full-matrix sweep used to
+//! regenerate each trace ~20×. Workers claim jobs off a shared atomic
+//! cursor; a job blocks only while *its* trace is still cooking (no
+//! global barrier between the stages). Determinism is a hard invariant:
+//! a parallel sweep's [`RunStats`] are bit-identical to the serial
+//! path's (rigs share no mutable state across jobs, and wall-clock
+//! timing lives in [`SweepRow`], never in [`RunStats`]). The test suite
+//! enforces this, plus that the materialization counter equals the
+//! unique-trace count.
 
 use crate::engine::RunStats;
-use crate::experiments::{run_one_with_telemetry, scaled_benchmarks, telemetry_enabled, Scale};
+use crate::error::SimError;
 use crate::report::{telemetry_json, Json};
 use crate::rig::{Design, Env};
+use crate::runner::{Runner, TraceKey, TraceSet, TraceStore};
+use crate::experiments::Scale;
 use dmt_telemetry::Telemetry;
+use dmt_trace::TraceReader;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
 /// What to sweep. The matrix is the cross product of the fields,
 /// filtered by [`Design::available_in`] (Table 6's N/A cells).
+///
+/// Construct with [`SweepConfig::builder`] to get construction-time
+/// validation (benchmark bounds, non-empty matrix); the sweep drivers
+/// re-validate direct struct literals.
 #[derive(Debug, Clone)]
 pub struct SweepConfig {
     /// Environments to cover.
@@ -28,15 +42,12 @@ pub struct SweepConfig {
     pub designs: Vec<Design>,
     /// THP modes to cover.
     pub thp: Vec<bool>,
-    /// Indices into [`scaled_benchmarks`]'s seven-benchmark list.
+    /// Indices into the seven-benchmark suite (paper order).
     pub benchmarks: Vec<usize>,
     /// Workload scaling.
     pub scale: Scale,
     /// Worker threads; `0` means all available cores.
     pub threads: usize,
-    /// Capture telemetry per row (histograms, counters, time-series).
-    /// Defaults to the `DMT_TELEMETRY=1` opt-in.
-    pub telemetry: bool,
 }
 
 impl Default for SweepConfig {
@@ -55,10 +66,9 @@ impl Default for SweepConfig {
                 Design::PvDmt,
             ],
             thp: vec![false, true],
-            benchmarks: (0..7).collect(),
+            benchmarks: (0..dmt_workloads::bench7::BENCH7_COUNT).collect(),
             scale: Scale::default(),
             threads: 0,
-            telemetry: telemetry_enabled(),
         }
     }
 }
@@ -74,8 +84,93 @@ impl SweepConfig {
             benchmarks: vec![2, 3], // GUPS, BTree
             scale: Scale::test(),
             threads: 0,
-            telemetry: telemetry_enabled(),
         }
+    }
+
+    /// A builder starting from [`SweepConfig::default`] (the full
+    /// matrix); `build()` validates.
+    pub fn builder() -> SweepConfigBuilder {
+        SweepConfigBuilder {
+            cfg: SweepConfig::default(),
+        }
+    }
+
+    /// Check the config: every benchmark index in bounds, and the
+    /// expanded matrix non-empty.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BenchIndex`] or [`SimError::EmptyMatrix`].
+    pub fn validate(&self) -> Result<(), SimError> {
+        let count = dmt_workloads::bench7::BENCH7_COUNT;
+        for &b in &self.benchmarks {
+            if b >= count {
+                return Err(SimError::BenchIndex { index: b, count });
+            }
+        }
+        if matrix(self).is_empty() {
+            return Err(SimError::EmptyMatrix);
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`SweepConfig`]: set the axes, then [`build`]
+/// (`SweepConfigBuilder::build`) bounds-checks benchmark indices and
+/// rejects configs whose matrix is empty — errors surface when the
+/// config is constructed, not from deep inside a worker thread.
+#[derive(Debug, Clone)]
+pub struct SweepConfigBuilder {
+    cfg: SweepConfig,
+}
+
+impl SweepConfigBuilder {
+    /// Environments to cover.
+    pub fn envs(mut self, envs: impl Into<Vec<Env>>) -> Self {
+        self.cfg.envs = envs.into();
+        self
+    }
+
+    /// Designs to cover.
+    pub fn designs(mut self, designs: impl Into<Vec<Design>>) -> Self {
+        self.cfg.designs = designs.into();
+        self
+    }
+
+    /// THP modes to cover.
+    pub fn thp(mut self, thp: impl Into<Vec<bool>>) -> Self {
+        self.cfg.thp = thp.into();
+        self
+    }
+
+    /// Benchmark indices to cover (paper order).
+    pub fn benchmarks(mut self, benchmarks: impl Into<Vec<usize>>) -> Self {
+        self.cfg.benchmarks = benchmarks.into();
+        self
+    }
+
+    /// Workload scaling.
+    pub fn scale(mut self, scale: Scale) -> Self {
+        self.cfg.scale = scale;
+        self
+    }
+
+    /// Worker threads (`0` = all cores).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.cfg.threads = threads;
+        self
+    }
+
+    /// Validate and finish.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BenchIndex`] for an out-of-bounds benchmark,
+    /// [`SimError::EmptyMatrix`] when the cross product (after
+    /// availability filtering) has no jobs.
+    pub fn build(self) -> Result<SweepConfig, SimError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -88,7 +183,7 @@ pub struct SweepJob {
     pub design: Design,
     /// THP mode.
     pub thp: bool,
-    /// Benchmark index into [`scaled_benchmarks`].
+    /// Benchmark index.
     pub bench: usize,
 }
 
@@ -110,11 +205,11 @@ pub struct SweepRow {
     pub stats: RunStats,
     /// DMT fetcher coverage (1.0 for non-DMT designs; deterministic).
     pub coverage: f64,
-    /// Host wall-clock time for this job (setup + run).
+    /// Host wall-clock time for this job (trace wait + rig setup + run).
     pub wall_nanos: u64,
     /// Measured accesses replayed per host second.
     pub accesses_per_sec: f64,
-    /// Telemetry captured during the run (when the config asked for
+    /// Telemetry captured during the run (when the runner asked for
     /// it). Deterministic, but compared separately from [`outcome`]
     /// (`SweepRow::outcome`) so the `RunStats` invariant stays
     /// telemetry-agnostic.
@@ -145,6 +240,13 @@ pub struct SweepReport {
     pub threads: usize,
     /// End-to-end wall-clock time.
     pub total_wall_nanos: u64,
+    /// Unique (benchmark, THP) traces in the matrix.
+    pub unique_traces: u64,
+    /// Traces actually generated — must equal `unique_traces` (each
+    /// exactly once); the tests and the CI sweep job fail otherwise.
+    pub trace_materializations: u64,
+    /// Host nanoseconds spent generating traces (summed across keys).
+    pub materialize_nanos: u64,
 }
 
 /// Expand a config into its job list (deterministic order: env, THP,
@@ -170,94 +272,161 @@ pub fn matrix(cfg: &SweepConfig) -> Vec<SweepJob> {
     jobs
 }
 
-fn run_job(job: SweepJob, scale: Scale, telemetry: bool) -> Result<SweepRow, String> {
-    let started = Instant::now();
-    let benches = scaled_benchmarks(scale, job.thp);
-    let w = benches
-        .get(job.bench)
-        .ok_or_else(|| format!("benchmark index {} out of range", job.bench))?;
-    let m = run_one_with_telemetry(job.env, job.design, job.thp, w.as_ref(), scale, telemetry)?;
-    let wall_nanos = started.elapsed().as_nanos() as u64;
-    let secs = wall_nanos as f64 / 1e9;
-    Ok(SweepRow {
-        workload: m.workload,
-        env: m.env,
-        design: m.design,
-        thp: m.thp,
-        stats: m.stats,
-        coverage: m.coverage,
-        telemetry: m.telemetry,
-        wall_nanos,
-        accesses_per_sec: if secs > 0.0 {
-            m.stats.accesses as f64 / secs
-        } else {
-            0.0
-        },
-    })
-}
-
-/// Run the sweep across worker threads.
-///
-/// Workers claim jobs off an atomic cursor; each job builds its own rig
-/// and trace, so no simulation state is shared and the statistics are
-/// identical to [`sweep_serial`]'s.
-///
-/// # Errors
-///
-/// Returns the first job failure (by matrix order).
-pub fn sweep(cfg: &SweepConfig) -> Result<SweepReport, String> {
-    let jobs = matrix(cfg);
-    let threads = if cfg.threads == 0 {
-        std::thread::available_parallelism().map_or(1, |n| n.get())
-    } else {
-        cfg.threads
+impl Runner {
+    /// One replay-stage job over the shared trace pool.
+    fn run_shared_job(
+        &self,
+        job: SweepJob,
+        traces: &TraceSet,
+        scale: Scale,
+    ) -> Result<SweepRow, SimError> {
+        let started = Instant::now();
+        let entry = traces.entry(job.bench, job.thp)?;
+        let mut rig = self.build_rig(job.env, job.design, job.thp, &entry.setup)?;
+        let interval = (scale.total() as u64 / 32).max(1);
+        let (stats, telemetry) = match &entry.store {
+            TraceStore::Memory(v) => {
+                self.replay_sampled(rig.as_mut(), v.iter(), scale.warmup, interval)
+            }
+            TraceStore::Disk(path) => self.replay_sampled(
+                rig.as_mut(),
+                TraceReader::open(path)?.accesses(),
+                scale.warmup,
+                interval,
+            ),
+        };
+        let coverage = rig.coverage();
+        let wall_nanos = started.elapsed().as_nanos() as u64;
+        let secs = wall_nanos as f64 / 1e9;
+        Ok(SweepRow {
+            workload: entry.workload.clone(),
+            env: job.env,
+            design: job.design,
+            thp: job.thp,
+            stats,
+            coverage,
+            telemetry,
+            wall_nanos,
+            accesses_per_sec: if secs > 0.0 {
+                stats.accesses as f64 / secs
+            } else {
+                0.0
+            },
+        })
     }
-    .min(jobs.len().max(1));
-    let started = Instant::now();
 
-    let cursor = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<Result<SweepRow, String>>>> =
-        Mutex::new((0..jobs.len()).map(|_| None).collect());
-    let scale = cfg.scale;
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(&job) = jobs.get(i) else { break };
-                let out = run_job(job, scale, cfg.telemetry);
-                slots.lock().expect("no poisoned workers")[i] = Some(out);
-            });
+    fn finish_report(
+        rows: Vec<SweepRow>,
+        threads: usize,
+        traces: &TraceSet,
+        started: Instant,
+    ) -> SweepReport {
+        SweepReport {
+            rows,
+            threads,
+            total_wall_nanos: started.elapsed().as_nanos() as u64,
+            unique_traces: traces.len() as u64,
+            trace_materializations: traces.materializations(),
+            materialize_nanos: traces.materialize_nanos(),
         }
-    });
-
-    let mut rows = Vec::with_capacity(jobs.len());
-    for slot in slots.into_inner().expect("workers joined") {
-        rows.push(slot.expect("every job claimed")?);
     }
-    Ok(SweepReport {
-        rows,
-        threads,
-        total_wall_nanos: started.elapsed().as_nanos() as u64,
-    })
+
+    /// Run the sweep across worker threads over a shared trace pool.
+    ///
+    /// Workers claim jobs off an atomic cursor. The first worker to
+    /// need a (benchmark, THP) trace materializes it; everyone else
+    /// replays the shared copy, so statistics are identical to
+    /// [`Runner::sweep_serial`]'s and each trace is generated exactly
+    /// once (the report's counters prove it).
+    ///
+    /// # Errors
+    ///
+    /// Config validation failures, then the first job failure (by
+    /// matrix order).
+    pub fn sweep(&self, cfg: &SweepConfig) -> Result<SweepReport, SimError> {
+        cfg.validate()?;
+        let jobs = matrix(cfg);
+        let threads = if cfg.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            cfg.threads
+        }
+        .min(jobs.len().max(1));
+        let started = Instant::now();
+        let traces = TraceSet::new(
+            cfg.scale,
+            jobs.iter()
+                .map(|j| TraceKey { bench: j.bench, thp: j.thp })
+                .collect(),
+            self.spill_dir.clone(),
+        );
+
+        let cursor = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<Result<SweepRow, SimError>>>> =
+            Mutex::new((0..jobs.len()).map(|_| None).collect());
+        let scale = cfg.scale;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&job) = jobs.get(i) else { break };
+                    let out = self.run_shared_job(job, &traces, scale);
+                    slots.lock().expect("no poisoned workers")[i] = Some(out);
+                });
+            }
+        });
+
+        let mut rows = Vec::with_capacity(jobs.len());
+        for slot in slots.into_inner().expect("workers joined") {
+            rows.push(slot.expect("every job claimed")?);
+        }
+        Ok(Self::finish_report(rows, threads, &traces, started))
+    }
+
+    /// Run the same matrix on the calling thread — the reference the
+    /// determinism test holds [`Runner::sweep`] against. Shares the
+    /// same materialize-once pipeline (with one worker, stage
+    /// interleaving is just "generate on first need").
+    ///
+    /// # Errors
+    ///
+    /// Config validation failures, then the first job failure.
+    pub fn sweep_serial(&self, cfg: &SweepConfig) -> Result<SweepReport, SimError> {
+        cfg.validate()?;
+        let started = Instant::now();
+        let jobs = matrix(cfg);
+        let traces = TraceSet::new(
+            cfg.scale,
+            jobs.iter()
+                .map(|j| TraceKey { bench: j.bench, thp: j.thp })
+                .collect(),
+            self.spill_dir.clone(),
+        );
+        let mut rows = Vec::new();
+        for job in jobs {
+            rows.push(self.run_shared_job(job, &traces, cfg.scale)?);
+        }
+        Ok(Self::finish_report(rows, 1, &traces, started))
+    }
 }
 
-/// Run the same matrix on the calling thread — the reference the
-/// determinism test holds [`sweep`] against.
+/// Run a sweep with the environment-configured [`Runner`] (see
+/// [`Runner::from_env`]). Equivalent to `Runner::from_env().sweep(cfg)`.
 ///
 /// # Errors
 ///
-/// Returns the first job failure.
-pub fn sweep_serial(cfg: &SweepConfig) -> Result<SweepReport, String> {
-    let started = Instant::now();
-    let mut rows = Vec::new();
-    for job in matrix(cfg) {
-        rows.push(run_job(job, cfg.scale, cfg.telemetry)?);
-    }
-    Ok(SweepReport {
-        rows,
-        threads: 1,
-        total_wall_nanos: started.elapsed().as_nanos() as u64,
-    })
+/// See [`Runner::sweep`].
+pub fn sweep(cfg: &SweepConfig) -> Result<SweepReport, SimError> {
+    Runner::from_env().sweep(cfg)
+}
+
+/// Serial reference with the environment-configured [`Runner`].
+///
+/// # Errors
+///
+/// See [`Runner::sweep_serial`].
+pub fn sweep_serial(cfg: &SweepConfig) -> Result<SweepReport, SimError> {
+    Runner::from_env().sweep_serial(cfg)
 }
 
 impl SweepReport {
@@ -267,6 +436,12 @@ impl SweepReport {
             .set("schema", Json::Str("dmt-sweep-v1".into()))
             .set("threads", Json::U64(self.threads as u64))
             .set("total_wall_nanos", Json::U64(self.total_wall_nanos))
+            .set("unique_traces", Json::U64(self.unique_traces))
+            .set(
+                "trace_materializations",
+                Json::U64(self.trace_materializations),
+            )
+            .set("materialize_nanos", Json::U64(self.materialize_nanos))
             .set(
                 "rows",
                 Json::Arr(
@@ -335,21 +510,39 @@ mod tests {
 
     #[test]
     fn matrix_respects_availability() {
-        let cfg = SweepConfig {
-            envs: vec![Env::Native, Env::Virt, Env::Nested],
-            designs: vec![Design::Vanilla, Design::Shadow, Design::PvDmt],
-            thp: vec![false],
-            benchmarks: vec![0],
-            scale: Scale::test(),
-            threads: 1,
-            telemetry: false,
-        };
+        let cfg = SweepConfig::builder()
+            .envs(vec![Env::Native, Env::Virt, Env::Nested])
+            .designs(vec![Design::Vanilla, Design::Shadow, Design::PvDmt])
+            .thp(vec![false])
+            .benchmarks(vec![0])
+            .scale(Scale::test())
+            .threads(1)
+            .build()
+            .unwrap();
         let jobs = matrix(&cfg);
         assert!(jobs.iter().all(|j| j.design.available_in(j.env)));
         // Native drops Shadow; Nested drops Shadow (keeps Vanilla+PvDmt).
         assert_eq!(jobs.iter().filter(|j| j.env == Env::Native).count(), 2);
         assert_eq!(jobs.iter().filter(|j| j.env == Env::Virt).count(), 3);
         assert_eq!(jobs.iter().filter(|j| j.env == Env::Nested).count(), 2);
+    }
+
+    #[test]
+    fn builder_rejects_bad_configs_at_build_time() {
+        let err = SweepConfig::builder().benchmarks(vec![9]).build().unwrap_err();
+        assert_eq!(err, SimError::BenchIndex { index: 9, count: 7 });
+        assert!(err.to_string().contains("benchmark index 9 out of range"));
+
+        let err = SweepConfig::builder().envs(Vec::new()).build().unwrap_err();
+        assert_eq!(err, SimError::EmptyMatrix);
+        // Non-empty axes can still cross to nothing: Shadow never runs
+        // natively.
+        let err = SweepConfig::builder()
+            .envs(vec![Env::Native])
+            .designs(vec![Design::Shadow])
+            .build()
+            .unwrap_err();
+        assert_eq!(err, SimError::EmptyMatrix);
     }
 
     #[test]
@@ -366,6 +559,12 @@ mod tests {
         // The runs did real work.
         assert!(par.rows.iter().all(|r| r.stats.accesses > 0));
         assert!(par.rows.iter().any(|r| r.stats.walks > 0));
+        // Shared pipeline: 2 benchmarks × 1 THP mode = 2 unique traces,
+        // each materialized exactly once despite 4 jobs needing them.
+        for report in [&par, &ser] {
+            assert_eq!(report.unique_traces, 2);
+            assert_eq!(report.trace_materializations, 2);
+        }
     }
 
     #[test]
@@ -378,6 +577,8 @@ mod tests {
         assert!(json.contains("\"workload\": \"GUPS\""));
         assert!(json.contains("\"design\": \"DMT\""));
         assert!(json.contains("\"avg_walk_latency\""));
+        assert!(json.contains("\"unique_traces\": 1"));
+        assert!(json.contains("\"trace_materializations\": 1"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
 
         // A unique temp dir, never the repo CWD's results/ — parallel

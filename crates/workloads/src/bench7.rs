@@ -428,15 +428,26 @@ impl Workload for Graph500 {
 /// All seven benchmarks with their default (scaled) configurations, in
 /// the paper's order.
 pub fn all_benchmarks() -> Vec<Box<dyn Workload>> {
-    vec![
-        Box::new(Redis::default()),
-        Box::new(Memcached::default()),
-        Box::new(Gups::default()),
-        Box::new(BTree::default()),
-        Box::new(Canneal::default()),
-        Box::new(XsBench::default()),
-        Box::new(Graph500::default()),
-    ]
+    (0..BENCH7_COUNT).map(|i| nth_benchmark(i, 1).unwrap()).collect()
+}
+
+/// Number of benchmarks in the paper's Table 6 suite.
+pub const BENCH7_COUNT: usize = 7;
+
+/// Construct benchmark `i` (paper order) alone, with its dominant size
+/// field multiplied by `f`. Returns `None` when `i >= BENCH7_COUNT`.
+/// With `f == 1` this matches [`all_benchmarks`] element-for-element.
+pub fn nth_benchmark(i: usize, f: u64) -> Option<Box<dyn Workload>> {
+    Some(match i {
+        0 => Box::new(Redis { records: f * (1 << 20), ..Default::default() }) as Box<dyn Workload>,
+        1 => Box::new(Memcached { slabs: 64, slab_bytes: f * (4 << 20), ..Default::default() }),
+        2 => Box::new(Gups { table_bytes: f * (256 << 20) }),
+        3 => Box::new(BTree { nodes: f * (1 << 21), ..Default::default() }),
+        4 => Box::new(Canneal { elements: f * (2 << 20), ..Default::default() }),
+        5 => Box::new(XsBench { gridpoints: f * (1 << 16), ..Default::default() }),
+        6 => Box::new(Graph500 { vertices: f * (1 << 21), ..Default::default() }),
+        _ => return None,
+    })
 }
 
 #[cfg(test)]

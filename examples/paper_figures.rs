@@ -7,7 +7,7 @@
 //! minutes) — the numbers recorded in EXPERIMENTS.md.
 
 use dmt::sim::experiments::{
-    fig14, fig15, fig16, fig17, scaled_benchmarks, table5, table6, Fig4Row, FigureData, Scale,
+    fig14, fig15, fig16, fig17, scaled_benchmark, table5, table6, Fig4Row, FigureData, Scale,
 };
 use dmt::sim::ablation::{policy_comparison, register_sweep, threshold_sweep};
 use dmt::sim::overheads::{hypercall_overhead, management_overhead, memory_overhead};
@@ -201,7 +201,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // ---- Ablations ----------------------------------------------------
-    let mc = scaled_benchmarks(scale, false).remove(1); // Memcached
+    let mc = scaled_benchmark(1, scale, false).expect("Memcached index");
     let sweep = register_sweep(mc.as_ref(), &[1, 2, 4, 8, 16, 32], 20_000);
     let mut t = Table::new("Ablation — register count vs fetcher coverage (Memcached)", &["registers", "coverage"]);
     for p in sweep {
@@ -268,6 +268,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn anyhow(e: String) -> Box<dyn std::error::Error> {
-    e.into()
+fn anyhow(e: dmt::sim::SimError) -> Box<dyn std::error::Error> {
+    Box::new(e)
 }

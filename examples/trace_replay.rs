@@ -4,10 +4,10 @@
 //!
 //! Run with: `cargo run --release --example trace_replay`
 
-use dmt::sim::engine::run;
 use dmt::sim::native_rig::NativeRig;
 use dmt::sim::report::{f2, pct, Table};
 use dmt::sim::rig::{Design, Setup};
+use dmt::sim::Runner;
 use dmt::trace::{capture_to_path, TraceReader};
 use dmt::workloads::bench7::Gups;
 use dmt::workloads::gen::Workload;
@@ -47,10 +47,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         format!("GUPS replay from {} (native, 4 KiB pages)", path.display()),
         &["design", "walk latency (cyc)", "seq. refs", "TLB miss"],
     );
+    let runner = Runner::builder().build();
     for design in [Design::Vanilla, Design::Dmt] {
         let mut rig = NativeRig::with_setup(design, false, &setup)?;
-        // Stream the decoded accesses through the engine.
-        let stats = run(
+        // Stream the decoded accesses through the runner's engine.
+        let (stats, _) = runner.replay(
             &mut rig,
             TraceReader::open(&path)?.map(|a| a.expect("validated above")),
             warmup,

@@ -6,7 +6,8 @@
 
 use dmt::sim::engine::{run, run_probed, RunStats};
 use dmt::sim::native_rig::NativeRig;
-use dmt::sim::sweep::{matrix, sweep, sweep_serial, SweepConfig};
+use dmt::sim::sweep::{matrix, SweepConfig};
+use dmt::sim::Runner;
 use dmt::sim::virt_rig::VirtRig;
 use dmt::sim::Design;
 use dmt::telemetry::Telemetry;
@@ -95,10 +96,10 @@ fn parallel_sweep_telemetry_matches_serial() {
     // from 4 workers equal the serial reference's, and RunStats equality
     // still holds with capture enabled.
     let mut cfg = SweepConfig::test();
-    cfg.telemetry = true;
     cfg.threads = 4;
-    let par = sweep(&cfg).unwrap();
-    let ser = sweep_serial(&cfg).unwrap();
+    let runner = Runner::builder().telemetry(true).build();
+    let par = runner.sweep(&cfg).unwrap();
+    let ser = runner.sweep_serial(&cfg).unwrap();
     assert_eq!(par.rows.len(), matrix(&cfg).len());
     for (p, s) in par.rows.iter().zip(&ser.rows) {
         assert_eq!(p.outcome(), s.outcome());

@@ -1,0 +1,89 @@
+//! Grep-style lint: `Runner::from_env` (via `dmt_sim::runner::env_config`)
+//! is the only place in the workspace that *reads* the `DMT_ORACLE`,
+//! `DMT_TELEMETRY` and `DMT_RESULTS_DIR` environment variables. Tests
+//! may still *write* them (`set_var`) to exercise the opt-in paths.
+
+use std::path::{Path, PathBuf};
+
+/// The protected variable names, assembled at runtime so this file's
+/// own source never contains the literal needles it scans for.
+fn needles() -> Vec<String> {
+    ["ORACLE", "TELEMETRY", "RESULTS_DIR"]
+        .iter()
+        .map(|suffix| format!("\"DMT_{suffix}\""))
+        .collect()
+}
+
+/// Every `.rs` file under the repo's source trees (crates, tests,
+/// examples), skipping build output and vendored dependencies.
+fn rust_sources(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack: Vec<PathBuf> = ["crates", "tests", "examples"]
+        .iter()
+        .map(|d| root.join(d))
+        .collect();
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else { continue };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name != "target" && name != "vendor" {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out
+}
+
+/// Whether the needle occurrence at `at` is an environment *write*
+/// (`set_var`/`remove_var`) rather than a read.
+fn is_write(source: &str, at: usize) -> bool {
+    let prefix = &source[at.saturating_sub(40)..at];
+    prefix.contains("set_var") || prefix.contains("remove_var")
+}
+
+#[test]
+fn dmt_env_vars_are_read_in_exactly_one_place() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let sources = rust_sources(root);
+    assert!(
+        sources.len() > 20,
+        "source walk looks broken: only {} files",
+        sources.len()
+    );
+    let one_read_site = root.join("crates/sim/src/runner.rs");
+    assert!(one_read_site.exists(), "the designated read site moved");
+
+    for needle in needles() {
+        let mut read_sites: Vec<(PathBuf, usize)> = Vec::new();
+        for path in &sources {
+            let Ok(source) = std::fs::read_to_string(path) else { continue };
+            let mut from = 0;
+            while let Some(i) = source[from..].find(&needle) {
+                let at = from + i;
+                if !is_write(&source, at) {
+                    read_sites.push((path.clone(), at));
+                }
+                from = at + needle.len();
+            }
+        }
+        let offenders: Vec<_> = read_sites
+            .iter()
+            .filter(|(p, _)| p != &one_read_site)
+            .collect();
+        assert!(
+            offenders.is_empty(),
+            "{needle} is read outside Runner::from_env/env_config: {offenders:?}"
+        );
+        assert_eq!(
+            read_sites.len(),
+            1,
+            "{needle} must be read exactly once, in crates/sim/src/runner.rs: {read_sites:?}"
+        );
+    }
+}

@@ -2,7 +2,7 @@
 //! qualitative shapes the paper reports. Absolute factors need the full
 //! scale (see EXPERIMENTS.md); these tests pin the *orderings*.
 
-use dmt::sim::experiments::{fig16, fig4, run_one, scaled_benchmarks, Scale};
+use dmt::sim::experiments::{fig16, fig4, run_one, scaled_benchmark, Scale};
 use dmt::sim::perfmodel::geomean;
 use dmt::sim::rig::{Design, Env};
 
@@ -45,7 +45,7 @@ fn fig4_environment_ordering() {
 fn virtualized_walks_beat_native_designs_shape() {
     // pvDMT must never lose to plain DMT, and both must cover everything.
     let scale = small();
-    let w = &scaled_benchmarks(scale, false)[2]; // GUPS
+    let w = scaled_benchmark(2, scale, false).unwrap(); // GUPS
     let base = run_one(Env::Virt, Design::Vanilla, false, w.as_ref(), scale).unwrap();
     let dmt = run_one(Env::Virt, Design::Dmt, false, w.as_ref(), scale).unwrap();
     let pv = run_one(Env::Virt, Design::PvDmt, false, w.as_ref(), scale).unwrap();
@@ -63,7 +63,7 @@ fn virtualized_walks_beat_native_designs_shape() {
 #[test]
 fn nested_pvdmt_beats_baseline_end_to_end() {
     let scale = small();
-    let w = &scaled_benchmarks(scale, false)[2]; // GUPS
+    let w = scaled_benchmark(2, scale, false).unwrap(); // GUPS
     let base = run_one(Env::Nested, Design::Vanilla, false, w.as_ref(), scale).unwrap();
     let pv = run_one(Env::Nested, Design::PvDmt, false, w.as_ref(), scale).unwrap();
     // pvDMT: 3 refs; the baseline 2D walk averages more.
@@ -92,8 +92,8 @@ fn fig16_breakdown_shape() {
 #[test]
 fn thp_reduces_walk_latency_for_vanilla() {
     let scale = small();
-    let w4 = &scaled_benchmarks(scale, false)[2];
-    let wt = &scaled_benchmarks(scale, true)[2];
+    let w4 = scaled_benchmark(2, scale, false).unwrap();
+    let wt = scaled_benchmark(2, scale, true).unwrap();
     let b4 = run_one(Env::Virt, Design::Vanilla, false, w4.as_ref(), scale).unwrap();
     let bt = run_one(Env::Virt, Design::Vanilla, true, wt.as_ref(), scale).unwrap();
     assert!(

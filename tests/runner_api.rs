@@ -1,0 +1,136 @@
+//! The `Runner` API redesign: migration shims must be bit-identical to
+//! the unified entry point, the builder's knobs must behave, and the
+//! disk-spill trace store must replay exactly like the in-memory one.
+
+use dmt::sim::engine::{run, run_probed, RunStats};
+use dmt::sim::native_rig::NativeRig;
+use dmt::sim::sweep::SweepConfig;
+use dmt::sim::{Design, Env, Runner, Scale, SimError};
+use dmt::telemetry::NoopProbe;
+use dmt::workloads::bench7::Gups;
+use dmt::workloads::gen::Workload;
+
+fn cell_workload() -> Gups {
+    Gups {
+        table_bytes: 32 << 20,
+    }
+}
+
+/// The raw engine loop, driven directly — the pre-redesign reference
+/// for what `engine::run` (now a shim over `Runner::replay`) returns.
+fn reference_stats(design: Design) -> RunStats {
+    let w = cell_workload();
+    let trace = w.trace(6_000, 0xD317 ^ design as u64);
+    let mut rig = NativeRig::new(design, false, &w, &trace).unwrap();
+    run_probed(&mut rig, &trace, 1_000, &mut NoopProbe)
+}
+
+#[test]
+fn engine_run_shim_is_bit_identical_to_runner_replay() {
+    for design in [Design::Vanilla, Design::Dmt] {
+        let w = cell_workload();
+        let trace = w.trace(6_000, 0xD317 ^ design as u64);
+
+        let mut rig = NativeRig::new(design, false, &w, &trace).unwrap();
+        let via_shim = run(&mut rig, &trace, 1_000);
+
+        let mut rig = NativeRig::new(design, false, &w, &trace).unwrap();
+        let (via_runner, telemetry) =
+            Runner::builder().build().replay(&mut rig, &trace, 1_000);
+
+        assert_eq!(via_shim, via_runner, "{design:?}: shim diverged from Runner");
+        assert_eq!(via_shim, reference_stats(design), "{design:?}: shim diverged from raw engine");
+        assert!(telemetry.is_none(), "default runner must not capture telemetry");
+    }
+}
+
+#[test]
+fn run_one_shim_is_bit_identical_to_runner_run_one() {
+    let w = cell_workload();
+    let scale = Scale::test();
+    for (env, design) in [(Env::Native, Design::Dmt), (Env::Virt, Design::PvDmt)] {
+        let shim =
+            dmt::sim::experiments::run_one_with_telemetry(env, design, false, &w, scale, false)
+                .unwrap();
+        let direct = Runner::builder()
+            .build()
+            .run_one(env, design, false, &w, scale)
+            .unwrap();
+        assert_eq!(shim.stats, direct.stats, "{env:?}/{design:?}");
+        assert_eq!(shim.coverage.to_bits(), direct.coverage.to_bits());
+        assert_eq!(shim.workload, direct.workload);
+    }
+}
+
+#[test]
+fn telemetry_toggle_does_not_change_stats() {
+    let w = cell_workload();
+    let scale = Scale::test();
+    let off = Runner::builder()
+        .build()
+        .run_one(Env::Native, Design::Dmt, false, &w, scale)
+        .unwrap();
+    let on = Runner::builder()
+        .telemetry(true)
+        .build()
+        .run_one(Env::Native, Design::Dmt, false, &w, scale)
+        .unwrap();
+    assert_eq!(off.stats, on.stats, "telemetry must be a pure observer");
+    assert!(off.telemetry.is_none());
+    let t = on.telemetry.expect("telemetry-on runner must capture");
+    assert_eq!(t.walk_latency.count(), on.stats.walks);
+    assert!(!t.series.is_empty(), "~32 periodic samples over the trace");
+}
+
+#[test]
+fn builder_validation_reports_typed_errors_with_legacy_text() {
+    let err = SweepConfig::builder().benchmarks(vec![9]).build().unwrap_err();
+    assert!(matches!(err, SimError::BenchIndex { index: 9, count: 7 }));
+    assert!(
+        err.to_string().starts_with("benchmark index 9 out of range"),
+        "Display must keep the historical message prefix: {err}"
+    );
+    let err = SweepConfig::builder().thp(Vec::new()).build().unwrap_err();
+    assert!(matches!(err, SimError::EmptyMatrix));
+    // Direct struct literals are validated by the sweep drivers too.
+    let mut cfg = SweepConfig::test();
+    cfg.benchmarks = vec![42];
+    let err = Runner::builder().build().sweep(&cfg).unwrap_err();
+    assert!(matches!(err, SimError::BenchIndex { index: 42, .. }));
+}
+
+#[test]
+fn spilled_sweep_matches_in_memory_sweep_exactly() {
+    let mut cfg = SweepConfig::test();
+    cfg.threads = 2;
+    let mem = Runner::builder().build().sweep(&cfg).unwrap();
+
+    let dir = std::env::temp_dir().join(format!("dmt-runner-spill-{}", std::process::id()));
+    let spill = Runner::builder()
+        .spill_traces(&dir)
+        .build()
+        .sweep(&cfg)
+        .unwrap();
+
+    assert_eq!(mem.rows.len(), spill.rows.len());
+    for (m, s) in mem.rows.iter().zip(&spill.rows) {
+        assert_eq!(
+            m.outcome(),
+            s.outcome(),
+            "disk-streamed replay diverged from in-memory replay"
+        );
+    }
+    // The traces really did go through the codec on disk.
+    let spilled: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "dmtt"))
+        .collect();
+    assert_eq!(
+        spilled.len() as u64,
+        spill.unique_traces,
+        "one .dmtt file per unique (benchmark, THP) trace"
+    );
+    assert_eq!(spill.trace_materializations, spill.unique_traces);
+    std::fs::remove_dir_all(&dir).ok();
+}
