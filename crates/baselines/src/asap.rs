@@ -13,6 +13,25 @@ use dmt_cache::hierarchy::MemoryHierarchy;
 use dmt_core::vtmap::VmaTeaMapping;
 use dmt_mem::{PhysAddr, VirtAddr};
 
+/// Overlap an ASAP prefetch with the walk: the last step's cost becomes
+/// `min(measured, max(L2 latency, DRAM latency - prior steps))` — the
+/// prefetched line cannot arrive faster than one DRAM round trip issued
+/// at TLB-miss time (MICRO'19's timeliness constraint).
+///
+/// `step_cycles` is borrowed (the rigs pass a fixed-size stack buffer of
+/// at most [`dmt_pgtable::walk::MAX_WALK_DEPTH`] entries), so the
+/// adjustment costs no allocation on the translate hot path.
+pub fn asap_adjusted_cycles(total: u64, step_cycles: &[u64], hier: &MemoryHierarchy) -> u64 {
+    let Some((&last, prior)) = step_cycles.split_last() else {
+        return total;
+    };
+    let prior_sum: u64 = prior.iter().sum();
+    let l2 = hier.config().l2.latency;
+    let dram = hier.config().dram_latency;
+    let adjusted = last.min(l2.max(dram.saturating_sub(prior_sum)));
+    total - last + adjusted
+}
+
 /// The offset-based prefetcher: per-VMA contiguous PTE arrays for the
 /// last one or two levels. [`VmaTeaMapping`] already encodes exactly the
 /// "base + linear offset" arithmetic ASAP uses, so the prefetcher is a
@@ -123,6 +142,25 @@ mod tests {
         p.prefetch(VirtAddr(0x9000_0000), &mut hier, Some, &mut stats);
         assert_eq!(stats.uncovered, 1);
         assert_eq!(stats.prefetches, 0);
+    }
+
+    #[test]
+    fn timeliness_caps_the_leaf_fetch() {
+        let hier = MemoryHierarchy::default();
+        let dram = hier.config().dram_latency;
+        let l2 = hier.config().l2.latency;
+        // Cold walk, all steps DRAM: the leaf overlaps the prefetch
+        // issued at miss time, so it pays the remaining DRAM latency —
+        // floored at L2 (the line has to be read from somewhere).
+        let steps = [dram, dram, dram, dram];
+        let total = 4 * dram;
+        let expected = total - dram + l2.max(dram.saturating_sub(3 * dram));
+        assert_eq!(asap_adjusted_cycles(total, &steps, &hier), expected);
+        // A leaf already cheaper than the cap is left alone.
+        let steps = [dram, 4];
+        assert_eq!(asap_adjusted_cycles(dram + 4, &steps, &hier), dram + 4);
+        // No steps: nothing to adjust.
+        assert_eq!(asap_adjusted_cycles(123, &[], &hier), 123);
     }
 
     #[test]

@@ -19,6 +19,12 @@ use dmt_cache::pwc::PageWalkCache;
 use dmt_mem::addr::PTE_SIZE;
 use dmt_mem::{MemoryOps, PageSize, PhysAddr, VirtAddr};
 
+/// The deepest radix tree [`walk_dimension`] can descend in one
+/// dimension: five levels (LA57). Fixed-size step-cycle buffers (e.g.
+/// ASAP's timeliness adjustment) are sized by this — a single-dimension
+/// walk never performs more PTE fetches.
+pub const MAX_WALK_DEPTH: usize = 5;
+
 /// Which translation dimension a walk step belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WalkDim {

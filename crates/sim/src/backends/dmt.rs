@@ -1,0 +1,183 @@
+//! DMT: direct memory translation via register-file-resident TEA
+//! mappings, falling back to the hardware walker for uncovered VAs.
+//! Natively pvDMT is identical to DMT, so [`pvdmt`](super::pvdmt)
+//! reuses [`build_native`] verbatim.
+
+use super::{NativeMachine, NativeTranslator, VirtTranslator};
+use crate::error::SimError;
+use crate::registry::{Arena, NativeSpec, Registration, VirtSpec};
+use crate::rig::{Design, Setup, Translation};
+use dmt_cache::hierarchy::MemoryHierarchy;
+use dmt_core::{fetcher, DmtError};
+use dmt_mem::VirtAddr;
+use dmt_pgtable::walk::{walk_dimension, WalkDim};
+use dmt_virt::machine::{GuestTeaMode, VirtMachine};
+
+pub(crate) const REGISTRATION: Registration = Registration {
+    design: Design::Dmt,
+    native: Some(NativeSpec {
+        dmt_managed: true,
+        build: build_native,
+    }),
+    virt: Some(VirtSpec {
+        tea_mode: GuestTeaMode::Unpv,
+        arena_frames: None,
+        build: build_virt,
+    }),
+    nested: None,
+};
+
+/// The stock native DMT backend (PWC-assisted fallback walks). Shared
+/// with pvDMT's native registration.
+pub(crate) fn build_native(
+    _m: &mut NativeMachine,
+    _setup: &Setup,
+) -> Result<Box<dyn NativeTranslator>, SimError> {
+    Ok(Box::new(NativeDmt {
+        fetch_hits: 0,
+        fallbacks: 0,
+        fallback_pwc: true,
+    }))
+}
+
+/// The DESIGN.md §11 worked example: a DMT variant whose fallback walks
+/// bypass the PWC, isolating how much of DMT's win survives without
+/// walk-cache assistance on the uncovered tail. Plugged in through
+/// [`NativeRig::with_translator`](crate::native_rig::NativeRig::with_translator)
+/// instead of a registry row, since it is an ablation of [`Design::Dmt`]
+/// rather than a new design.
+pub fn build_native_no_fallback_pwc(
+    _m: &mut NativeMachine,
+    _setup: &Setup,
+) -> Result<Box<dyn NativeTranslator>, SimError> {
+    Ok(Box::new(NativeDmt {
+        fetch_hits: 0,
+        fallbacks: 0,
+        fallback_pwc: false,
+    }))
+}
+
+fn build_virt(
+    _m: &mut VirtMachine,
+    _setup: &Setup,
+    _arena: Option<Arena>,
+) -> Result<Box<dyn VirtTranslator>, SimError> {
+    Ok(Box::new(VirtDmt {
+        fetch_hits: 0,
+        fallbacks: 0,
+    }))
+}
+
+fn coverage(fetch_hits: u64, fallbacks: u64) -> f64 {
+    let total = fetch_hits + fallbacks;
+    if total == 0 {
+        1.0
+    } else {
+        fetch_hits as f64 / total as f64
+    }
+}
+
+/// Register-file fetch with hardware-walk fallback.
+struct NativeDmt {
+    fetch_hits: u64,
+    fallbacks: u64,
+    /// Whether fallback walks get the PWC (false only in the
+    /// no-fallback-PWC ablation).
+    fallback_pwc: bool,
+}
+
+impl NativeTranslator for NativeDmt {
+    fn translate(
+        &mut self,
+        m: &mut NativeMachine,
+        va: VirtAddr,
+        hier: &mut MemoryHierarchy,
+    ) -> Translation {
+        match fetcher::fetch_native(&m.regs, &mut m.pm, hier, va) {
+            Ok(out) => {
+                self.fetch_hits += 1;
+                Translation {
+                    pa: out.pa,
+                    size: out.size,
+                    cycles: out.cycles,
+                    refs: out.refs(),
+                    fallback: false,
+                }
+            }
+            Err(DmtError::NotCovered { .. }) => {
+                self.fallbacks += 1;
+                let pwc = if self.fallback_pwc {
+                    Some(&mut m.pwc)
+                } else {
+                    None
+                };
+                let out = walk_dimension(
+                    m.proc_.page_table(),
+                    &mut m.pm,
+                    va,
+                    WalkDim::Native,
+                    hier,
+                    pwc,
+                )
+                .expect("populated");
+                Translation {
+                    pa: out.pa,
+                    size: out.size,
+                    cycles: out.cycles,
+                    refs: out.refs(),
+                    fallback: true,
+                }
+            }
+            Err(e) => panic!("DMT fetch failed unexpectedly: {e}"),
+        }
+    }
+
+    fn coverage(&self) -> f64 {
+        coverage(self.fetch_hits, self.fallbacks)
+    }
+}
+
+/// Guest-TEA fetch with 2D-walk fallback (unparavirtualized: guest
+/// TEAs are contiguous only in guest physical memory).
+struct VirtDmt {
+    fetch_hits: u64,
+    fallbacks: u64,
+}
+
+impl VirtTranslator for VirtDmt {
+    fn translate(
+        &mut self,
+        m: &mut VirtMachine,
+        va: VirtAddr,
+        hier: &mut MemoryHierarchy,
+    ) -> Translation {
+        match m.translate_dmt(va, hier) {
+            Ok(out) => {
+                self.fetch_hits += 1;
+                Translation {
+                    pa: out.pa,
+                    size: out.size,
+                    cycles: out.cycles,
+                    refs: out.refs(),
+                    fallback: false,
+                }
+            }
+            Err(DmtError::NotCovered { .. }) => {
+                self.fallbacks += 1;
+                let out = m.translate_nested(va, hier).expect("populated");
+                Translation {
+                    pa: out.pa,
+                    size: out.guest_size,
+                    cycles: out.cycles,
+                    refs: out.refs(),
+                    fallback: true,
+                }
+            }
+            Err(e) => panic!("DMT fetch failed: {e}"),
+        }
+    }
+
+    fn coverage(&self) -> f64 {
+        coverage(self.fetch_hits, self.fallbacks)
+    }
+}

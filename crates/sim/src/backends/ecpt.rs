@@ -1,0 +1,164 @@
+//! Elastic cuckoo page tables (ECPT): hashed, parallelizable lookups in
+//! place of the radix walk. Virtualized, guest and host each get an
+//! ECPT; guest tables come from the boot-time contiguous arena.
+
+use super::{backed_chunks, collect_guest_mappings, NativeMachine, NativeTranslator, VirtTranslator};
+use crate::error::SimError;
+use crate::registry::{Arena, NativeSpec, Registration, VirtSpec};
+use crate::rig::{Design, Setup, Translation};
+use dmt_baselines::ecpt::{Ecpt, NestedEcpt};
+use dmt_cache::hierarchy::MemoryHierarchy;
+use dmt_mem::buddy::FrameKind;
+use dmt_mem::{PageSize, Pfn, VirtAddr};
+use dmt_virt::machine::{GuestTeaMode, VirtMachine};
+
+pub(crate) const REGISTRATION: Registration = Registration {
+    design: Design::Ecpt,
+    native: Some(NativeSpec {
+        dmt_managed: false,
+        build: build_native,
+    }),
+    virt: Some(VirtSpec {
+        tea_mode: GuestTeaMode::None,
+        arena_frames: Some(arena_frames),
+        build: build_virt,
+    }),
+    nested: None,
+};
+
+/// Sized from the touched pages: 3 ways × 16-byte entries × 3× slack,
+/// in frames, plus fixed headroom.
+fn arena_frames(setup: &Setup) -> u64 {
+    (((setup.pages.len() as u64) * 3 * 16 * 3) >> 12) + 1024
+}
+
+fn build_native(
+    m: &mut NativeMachine,
+    setup: &Setup,
+) -> Result<Box<dyn NativeTranslator>, SimError> {
+    let mappings = m.collect_mappings(&setup.pages)?;
+    let n2m = mappings
+        .iter()
+        .filter(|(_, _, s)| *s == PageSize::Size2M)
+        .count() as u64;
+    let n4k = mappings.len() as u64 - n2m;
+    let mut t = Ecpt::new_sized(
+        &mut m.pm,
+        &mut |pm, frames| pm.alloc_contig(frames, FrameKind::PageTable),
+        (n4k * 3).max(64),
+        (n2m * 3).max(8),
+    )
+    .map_err(SimError::setup)?;
+    for (va, pa, size) in mappings {
+        t.map(&mut m.pm, va, pa, size).map_err(SimError::setup)?;
+    }
+    Ok(Box::new(NativeEcpt { ecpt: t }))
+}
+
+fn build_virt(
+    m: &mut VirtMachine,
+    setup: &Setup,
+    arena: Option<Arena>,
+) -> Result<Box<dyn VirtTranslator>, SimError> {
+    let arena = arena.expect("registry carves an ECPT arena");
+    let necpt = build_ecpts(m, &setup.pages, arena.base, arena.frames)?;
+    Ok(Box::new(VirtEcpt { necpt }))
+}
+
+/// Build guest + host ECPTs.
+fn build_ecpts(
+    m: &mut VirtMachine,
+    pages: &[VirtAddr],
+    arena: Pfn,
+    arena_frames: u64,
+) -> Result<NestedEcpt, SimError> {
+    let mappings = collect_guest_mappings(m, pages)?;
+    let guest_pages = mappings.len() as u64;
+    let mut bump = arena.0;
+    let mut take = move |frames: u64| {
+        let p = bump;
+        bump += frames;
+        assert!(bump <= arena.0 + arena_frames, "ECPT arena exhausted");
+        dmt_mem::Result::Ok(Pfn(p))
+    };
+    // Size per page size: all mappings are one size per mode.
+    let n2m = mappings
+        .iter()
+        .filter(|(_, _, s)| *s == PageSize::Size2M)
+        .count() as u64;
+    let n4k = guest_pages - n2m;
+    let guest = {
+        let mut view = m.vm.guest_view(&mut m.pm);
+        let mut g = Ecpt::new_sized(
+            &mut view,
+            &mut |_v, f| take(f),
+            (n4k * 3).max(64),
+            (n2m * 3).max(8),
+        )
+        .map_err(SimError::setup)?;
+        for (va, gpa, size) in &mappings {
+            g.map_in(&mut view, &mut |_v, f| take(f), *va, *gpa, *size)
+                .map_err(SimError::setup)?;
+        }
+        g
+    };
+    // Host ECPT over the backed guest frames.
+    let chunks = backed_chunks(m);
+    let mut host = Ecpt::new(&mut m.pm, (chunks.len() as u64) * 2).map_err(SimError::setup)?;
+    for (gpa, hpa, size) in chunks {
+        host.map(&mut m.pm, VirtAddr(gpa.raw()), hpa, size)
+            .map_err(SimError::setup)?;
+    }
+    Ok(NestedEcpt { guest, host })
+}
+
+/// Hashed lookup in the host ECPT.
+struct NativeEcpt {
+    ecpt: Ecpt,
+}
+
+impl NativeTranslator for NativeEcpt {
+    fn translate(
+        &mut self,
+        m: &mut NativeMachine,
+        va: VirtAddr,
+        hier: &mut MemoryHierarchy,
+    ) -> Translation {
+        let out = self.ecpt.translate(&m.pm, hier, va).expect("populated");
+        Translation {
+            pa: out.pa,
+            size: out.size,
+            cycles: out.cycles,
+            refs: out.seq_refs(),
+            fallback: false,
+        }
+    }
+}
+
+/// Guest ECPT lookup with each candidate resolved through the host
+/// ECPT.
+struct VirtEcpt {
+    necpt: NestedEcpt,
+}
+
+impl VirtTranslator for VirtEcpt {
+    fn translate(
+        &mut self,
+        m: &mut VirtMachine,
+        va: VirtAddr,
+        hier: &mut MemoryHierarchy,
+    ) -> Translation {
+        let vm = &m.vm;
+        let out = self
+            .necpt
+            .translate(&m.pm, hier, va, |gpa| vm.gpa_to_hpa(gpa))
+            .expect("populated");
+        Translation {
+            pa: out.pa,
+            size: out.size,
+            cycles: out.cycles,
+            refs: out.seq_refs(),
+            fallback: false,
+        }
+    }
+}

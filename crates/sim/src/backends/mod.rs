@@ -1,0 +1,330 @@
+//! Design backends: the pluggable Translator layer behind the rigs.
+//!
+//! Each translation design's auxiliary-structure setup, per-access
+//! translate path, and `ref_translate` ground truth live in **one
+//! module per design** here, registered in [`crate::registry`] keyed by
+//! (design, environment). The three rigs are thin environment shells:
+//! they own machine state — [`NativeMachine`],
+//! [`VirtMachine`](dmt_virt::machine::VirtMachine),
+//! [`NestedMachine`](dmt_virt::nested::NestedMachine) — and delegate
+//! every design-specific decision to a boxed translator built by the
+//! registry. Nothing outside this directory and the registry matches on
+//! [`Design`](crate::rig::Design) to dispatch a translation;
+//! `tests/design_dispatch_sites.rs` enforces that.
+//!
+//! Adding a design variant is one new module implementing the
+//! environment traits it supports plus one [`Registration`]
+//! (`crate::registry::Registration`) row — see DESIGN.md §11 for the
+//! worked example.
+
+pub mod agile;
+pub mod asap;
+pub mod dmt;
+pub mod ecpt;
+pub mod fpt;
+pub mod pvdmt;
+pub mod shadow;
+pub mod vanilla;
+
+use crate::error::SimError;
+use crate::rig::{RefEntry, Setup, Translation};
+use dmt_cache::hierarchy::MemoryHierarchy;
+use dmt_cache::pwc::PageWalkCache;
+use dmt_core::regfile::DmtRegisterFile;
+use dmt_mem::buddy::FrameKind;
+use dmt_mem::{PageSize, PhysAddr, PhysMemory, VirtAddr};
+use dmt_os::proc::{Process, ThpMode};
+use dmt_os::vma::VmaKind;
+use dmt_pgtable::pte::PteFlags;
+use dmt_telemetry::ComponentCounters;
+use dmt_virt::machine::VirtMachine;
+use dmt_virt::nested::NestedMachine;
+
+/// The machine state a native rig owns, independent of the design under
+/// test: physical memory, the process (VMAs, radix tables, TEAs), the
+/// DMT register file, and the page-walk cache radix designs share.
+pub struct NativeMachine {
+    /// Physical memory.
+    pub pm: PhysMemory,
+    /// The process under test.
+    pub proc_: Process,
+    /// DMT register file (loaded iff the design is DMT-managed).
+    pub regs: DmtRegisterFile,
+    /// The page-walk cache the radix fallback/baseline walks share.
+    pub pwc: PageWalkCache,
+}
+
+impl NativeMachine {
+    /// Build the machine: map and fully populate the setup's regions,
+    /// sized so only touched pages are materialized. `dmt_managed`
+    /// selects the TEA-aware process and loads the register file — the
+    /// per-design knob the registry's
+    /// [`NativeSpec`](crate::registry::NativeSpec) carries.
+    pub(crate) fn build(dmt_managed: bool, thp: bool, setup: &Setup) -> Result<Self, SimError> {
+        let footprint = setup.footprint();
+        // Only touched pages are materialized; the rest is metadata.
+        let pages = &setup.pages;
+        let touched_bytes = (pages.len() as u64) << (if thp { 21 } else { 12 });
+        let mut pm = PhysMemory::new_bytes(touched_bytes * 2 + footprint / 256 + (512 << 20));
+        let thp_mode = if thp { ThpMode::Always } else { ThpMode::Never };
+        let mut proc_ = if dmt_managed {
+            Process::new(&mut pm, thp_mode)
+        } else {
+            Process::new_vanilla(&mut pm, thp_mode)
+        }
+        .map_err(SimError::setup)?;
+
+        for r in &setup.regions {
+            proc_
+                .mmap(&mut pm, r.base, r.len, VmaKind::Heap)
+                .map_err(|e| SimError::Setup(format!("mmap {}: {e}", r.label)))?;
+        }
+        for &va in pages {
+            proc_
+                .populate(&mut pm, va)
+                .map_err(|e| SimError::Setup(format!("populate {va}: {e}")))?;
+        }
+
+        let mut regs = DmtRegisterFile::new();
+        if dmt_managed {
+            proc_.load_registers(&mut regs);
+        }
+        Ok(NativeMachine {
+            pm,
+            proc_,
+            regs,
+            pwc: PageWalkCache::default(),
+        })
+    }
+
+    /// Enumerate the touched page mappings `(page base VA, frame base
+    /// PA, size)` from the ground-truth radix table — the raw material
+    /// backends build their auxiliary structures from.
+    pub fn collect_mappings(
+        &self,
+        pages: &[VirtAddr],
+    ) -> Result<Vec<(VirtAddr, PhysAddr, PageSize)>, SimError> {
+        let mut entries = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for &va in pages {
+            let (pa, size) = self
+                .proc_
+                .page_table()
+                .translate(&self.pm, va)
+                .ok_or_else(|| SimError::Setup(format!("page at {va} not populated")))?;
+            let aligned = va.align_down(size);
+            if seen.insert(aligned.raw()) {
+                entries.push((aligned, PhysAddr(pa.raw() & !(size.bytes() - 1)), size));
+            }
+        }
+        Ok(entries)
+    }
+
+    /// Software ground-truth data PA (no translation machinery charged).
+    pub fn data_pa(&self, va: VirtAddr) -> PhysAddr {
+        self.proc_
+            .page_table()
+            .translate(&self.pm, va)
+            .expect("populated")
+            .0
+    }
+
+    /// The reference leaf entry from the ground-truth radix table —
+    /// what [`NativeTranslator::ref_translate`] serves by default.
+    pub fn ref_entry(&self, va: VirtAddr) -> Option<RefEntry> {
+        let (pa, size, flags) = self.proc_.page_table().translate_entry(&self.pm, va)?;
+        Some(RefEntry {
+            pa,
+            size,
+            writable: flags.contains(PteFlags::WRITABLE),
+            user: flags.contains(PteFlags::USER),
+        })
+    }
+
+    pub(crate) fn component_counters(&self) -> ComponentCounters {
+        let pwc = self.pwc.stats();
+        let alloc = self.pm.buddy().alloc_counters();
+        ComponentCounters {
+            pwc_l2_hits: pwc.l2_hits,
+            pwc_l3_hits: pwc.l3_hits,
+            pwc_l4_hits: pwc.l4_hits,
+            pwc_misses: pwc.misses,
+            alloc_splits: alloc.splits,
+            alloc_merges: alloc.merges,
+            compactions: alloc.compactions,
+            tea_migrations: self.proc_.tea_migrations(),
+            shootdowns: self.proc_.shootdowns(),
+        }
+    }
+
+    pub(crate) fn frag_sample(&self) -> Option<(f64, u64)> {
+        let b = self.pm.buddy();
+        let rss = b.allocated_of_kind(FrameKind::Data) + b.allocated_of_kind(FrameKind::HugeData);
+        Some((dmt_mem::frag::fragmentation_index(b, 9), rss))
+    }
+}
+
+/// The 2D reference path for a virtualized machine: guest leaf decides
+/// size and permissions, the host mapping finishes the PA — the default
+/// [`VirtTranslator::ref_translate`].
+pub fn virt_ref_entry(m: &VirtMachine, va: VirtAddr) -> Option<RefEntry> {
+    let view = m.vm.guest_view_ref(&m.pm);
+    let (gpa, size, flags) = m.gpt.translate_entry(&view, va)?;
+    let hpa = m.vm.gpa_to_hpa(gpa)?;
+    Some(RefEntry {
+        pa: hpa,
+        size,
+        writable: flags.contains(PteFlags::WRITABLE),
+        user: flags.contains(PteFlags::USER),
+    })
+}
+
+/// The cascaded software reference for a nested machine — the default
+/// [`NestedTranslator::ref_translate`].
+pub fn nested_ref_entry(m: &NestedMachine, va: VirtAddr) -> Option<RefEntry> {
+    let (pa, size, flags) = m.translate_software_entry(va)?;
+    Some(RefEntry {
+        pa,
+        size,
+        writable: flags.contains(PteFlags::WRITABLE),
+        user: flags.contains(PteFlags::USER),
+    })
+}
+
+/// The backed guest-physical chunks `(gPA, hPA, size)`: 2 MiB where the
+/// backing is a full aligned huge block, 4 KiB otherwise (e.g. inserted
+/// TEA pages). Shared by the FPT and ECPT virt backends, which mirror
+/// the backing in their host-dimension tables.
+pub(crate) fn backed_chunks(m: &VirtMachine) -> Vec<(PhysAddr, PhysAddr, PageSize)> {
+    let frames = m.vm.backed_gframes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < frames.len() {
+        let g = frames[i];
+        let gpa = PhysAddr(g << 12);
+        let hpa = m.vm.gpa_to_hpa(gpa).expect("listed as backed");
+        let huge = m.vm.host_page_size() == PageSize::Size2M
+            && gpa.is_aligned(PageSize::Size2M)
+            && hpa.is_aligned(PageSize::Size2M)
+            && i + 512 <= frames.len()
+            && frames[i + 511] == g + 511;
+        if huge {
+            out.push((gpa, hpa, PageSize::Size2M));
+            i += 512;
+        } else {
+            out.push((gpa, hpa, PageSize::Size4K));
+            i += 1;
+        }
+    }
+    out
+}
+
+/// The touched guest mappings `(gva page, gpa frame, size)` — the raw
+/// material for guest-dimension auxiliary tables (FPT/ECPT).
+pub(crate) fn collect_guest_mappings(
+    m: &VirtMachine,
+    pages: &[VirtAddr],
+) -> Result<Vec<(VirtAddr, PhysAddr, PageSize)>, SimError> {
+    let view = m.vm.guest_view_ref(&m.pm);
+    let mut out = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for &va in pages {
+        let (gpa, size) = m
+            .gpt
+            .translate(&view, va)
+            .ok_or_else(|| SimError::Setup(format!("guest page {va} not populated")))?;
+        let aligned = va.align_down(size);
+        if seen.insert(aligned.raw()) {
+            out.push((aligned, PhysAddr(gpa.raw() & !(size.bytes() - 1)), size));
+        }
+    }
+    Ok(out)
+}
+
+/// A design's translate path in the native environment. The backend
+/// owns the design's auxiliary structures and counters; the machine
+/// (memory, process, registers, PWC) stays with the rig and is lent per
+/// call.
+pub trait NativeTranslator {
+    /// Serve a translation for `va`, charging `hier`.
+    fn translate(
+        &mut self,
+        m: &mut NativeMachine,
+        va: VirtAddr,
+        hier: &mut MemoryHierarchy,
+    ) -> Translation;
+
+    /// Reference entry for the differential oracle. Defaults to the
+    /// machine's radix ground truth.
+    fn ref_translate(&self, m: &NativeMachine, va: VirtAddr) -> Option<RefEntry> {
+        m.ref_entry(va)
+    }
+
+    /// VM exits attributable to the design (none natively by default).
+    fn exits(&self, m: &NativeMachine) -> u64 {
+        let _ = m;
+        0
+    }
+
+    /// DMT fetcher coverage so far (1.0 for non-DMT designs).
+    fn coverage(&self) -> f64 {
+        1.0
+    }
+}
+
+/// A design's translate path in the single-level virtualized
+/// environment, over the rig-owned [`VirtMachine`].
+pub trait VirtTranslator {
+    /// Serve a translation for `va`, charging `hier`.
+    fn translate(
+        &mut self,
+        m: &mut VirtMachine,
+        va: VirtAddr,
+        hier: &mut MemoryHierarchy,
+    ) -> Translation;
+
+    /// Reference entry for the differential oracle. Defaults to the 2D
+    /// software path ([`virt_ref_entry`]).
+    fn ref_translate(&self, m: &VirtMachine, va: VirtAddr) -> Option<RefEntry> {
+        virt_ref_entry(m, va)
+    }
+
+    /// VM exits attributable to the design during setup + run.
+    fn exits(&self, m: &VirtMachine) -> u64 {
+        let _ = m;
+        0
+    }
+
+    /// DMT fetcher coverage so far (1.0 for non-DMT designs).
+    fn coverage(&self) -> f64 {
+        1.0
+    }
+}
+
+/// A design's translate path in the nested (L0/L1/L2) environment.
+pub trait NestedTranslator {
+    /// Serve a translation for `va`, charging `hier`.
+    fn translate(
+        &mut self,
+        m: &mut NestedMachine,
+        va: VirtAddr,
+        hier: &mut MemoryHierarchy,
+    ) -> Translation;
+
+    /// Reference entry for the differential oracle. Defaults to the
+    /// cascaded software path ([`nested_ref_entry`]).
+    fn ref_translate(&self, m: &NestedMachine, va: VirtAddr) -> Option<RefEntry> {
+        nested_ref_entry(m, va)
+    }
+
+    /// VM exits attributable to the design during setup + run.
+    fn exits(&self, m: &NestedMachine) -> u64 {
+        let _ = m;
+        0
+    }
+
+    /// DMT fetcher coverage so far (1.0 for non-DMT designs).
+    fn coverage(&self) -> f64 {
+        1.0
+    }
+}

@@ -1,0 +1,55 @@
+//! Shadow paging: the hypervisor maintains a merged VA→hPA table, so a
+//! TLB miss costs one native-length walk — but every guest page-table
+//! update exits to resync (virtualized only; Table 6 N/A elsewhere).
+
+use super::{VirtTranslator};
+use crate::registry::{Registration, VirtSpec};
+use crate::rig::{Design, Setup, Translation};
+use dmt_cache::hierarchy::MemoryHierarchy;
+use dmt_mem::VirtAddr;
+use dmt_virt::machine::{GuestTeaMode, VirtMachine};
+
+pub(crate) const REGISTRATION: Registration = Registration {
+    design: Design::Shadow,
+    native: None,
+    virt: Some(VirtSpec {
+        tea_mode: GuestTeaMode::None,
+        arena_frames: None,
+        build: build_virt,
+    }),
+    nested: None,
+};
+
+fn build_virt(
+    _m: &mut VirtMachine,
+    _setup: &Setup,
+    _arena: Option<crate::registry::Arena>,
+) -> Result<Box<dyn VirtTranslator>, crate::error::SimError> {
+    Ok(Box::new(VirtShadow))
+}
+
+/// One-dimensional walk of the hypervisor-maintained shadow table.
+struct VirtShadow;
+
+impl VirtTranslator for VirtShadow {
+    fn translate(
+        &mut self,
+        m: &mut VirtMachine,
+        va: VirtAddr,
+        hier: &mut MemoryHierarchy,
+    ) -> Translation {
+        let out = m.translate_shadow(va, hier).expect("populated");
+        Translation {
+            pa: out.pa,
+            size: out.size,
+            cycles: out.cycles,
+            refs: out.refs(),
+            fallback: false,
+        }
+    }
+
+    fn exits(&self, m: &VirtMachine) -> u64 {
+        // One resync exit per guest table update (tracked as faults).
+        m.faults()
+    }
+}

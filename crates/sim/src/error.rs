@@ -7,6 +7,7 @@
 //! produced, so error-message assertions written against the old API
 //! keep passing.
 
+use crate::rig::{Design, Env};
 use core::fmt;
 use std::io;
 
@@ -21,6 +22,14 @@ pub enum SimError {
     /// Rig / process / machine construction failed (mmap, populate,
     /// register load, ...). Carries the underlying message verbatim.
     Setup(String),
+    /// A design was requested in an environment where the registry has
+    /// no backend (one of Table 6's N/A cells).
+    Unavailable {
+        /// The design asked for.
+        design: Design,
+        /// The environment it has no backend in.
+        env: Env,
+    },
     /// A benchmark index was outside the suite.
     BenchIndex {
         /// The offending index.
@@ -42,6 +51,12 @@ impl fmt::Display for SimError {
             // Verbatim: `Setup` wraps what used to be the whole string
             // error, so existing message assertions still match.
             SimError::Setup(msg) => write!(f, "{msg}"),
+            SimError::Unavailable { design, env } => write!(
+                f,
+                "{} has no backend registered for the {} environment (Table 6 N/A cell)",
+                design.name(),
+                env.name()
+            ),
             // Same prefix run_job used to format.
             SimError::BenchIndex { index, count } => {
                 write!(f, "benchmark index {index} out of range (suite has {count})")
@@ -52,6 +67,16 @@ impl fmt::Display for SimError {
             SimError::Trace(msg) => write!(f, "trace error: {msg}"),
             SimError::Io(msg) => write!(f, "I/O error: {msg}"),
         }
+    }
+}
+
+impl SimError {
+    /// Wrap any displayable failure as a [`SimError::Setup`], preserving
+    /// its message text verbatim — the one-liner the rig and machine
+    /// builders use in place of the old `.map_err(|e| e.to_string())`
+    /// stringly-typed plumbing.
+    pub fn setup(e: impl fmt::Display) -> SimError {
+        SimError::Setup(e.to_string())
     }
 }
 
@@ -92,6 +117,20 @@ mod tests {
         let e = SimError::BenchIndex { index: 9, count: 7 };
         assert!(e.to_string().starts_with("benchmark index 9 out of range"));
         assert!(SimError::EmptyMatrix.to_string().contains("empty matrix"));
+        let e = SimError::Unavailable {
+            design: Design::Shadow,
+            env: Env::Native,
+        };
+        assert_eq!(
+            e.to_string(),
+            "Shadow has no backend registered for the Native environment (Table 6 N/A cell)"
+        );
+    }
+
+    #[test]
+    fn setup_helper_preserves_message_text() {
+        let e = SimError::setup(io::Error::other("mmap failed: out of memory"));
+        assert_eq!(e.to_string(), "mmap failed: out of memory");
     }
 
     #[test]

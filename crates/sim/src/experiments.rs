@@ -394,7 +394,7 @@ pub fn fig16(thp: bool, scale: Scale) -> Result<(Vec<Fig16Step>, Vec<Fig16Step>)
             let out = rig
                 .machine_mut()
                 .translate_nested(a.va, &mut hier)
-                .map_err(|e| e.to_string())?;
+                .map_err(SimError::setup)?;
             tlb.fill(a.va, out.guest_size);
             if i >= scale.warmup {
                 for (idx, st) in out.steps.iter().enumerate() {
@@ -522,16 +522,33 @@ pub fn table5(fig14: &FigureData, fig15: &FigureData) -> Vec<Table5Row> {
 pub type Table6Row = (Design, Option<u64>, Option<u64>, Option<u64>);
 
 /// Table 6: sequential memory references per design per environment
-/// (analytic worst case, matching the paper's table).
+/// (analytic worst case, matching the paper's table). The N/A cells are
+/// *derived* from the registry — a cell shows its analytic count iff
+/// the design has a backend registered for that environment, so
+/// registering a new environment for a design surfaces its column here
+/// with no table edit.
 pub fn table6() -> Vec<Table6Row> {
-    vec![
-        (Design::PvDmt, Some(1), Some(2), Some(3)),
-        (Design::Ecpt, Some(1), Some(3), None),
-        (Design::Fpt, Some(2), Some(8), None),
-        (Design::Agile, None, Some(24), None), // 4–24; worst case listed
-        (Design::Asap, Some(4), Some(24), None),
-        (Design::Vanilla, Some(4), Some(24), Some(24)),
-    ]
+    // Analytic worst-case counts; cells the registry has no backend for
+    // (e.g. Agile's native column) carry the count the design *would*
+    // have, and stay hidden until someone registers one.
+    let rows = [
+        (Design::PvDmt, 1, 2, 3),
+        (Design::Ecpt, 1, 3, 9),
+        (Design::Fpt, 2, 8, 26),
+        (Design::Agile, 4, 24, 24), // virt is 4–24; worst case listed
+        (Design::Asap, 4, 24, 24),
+        (Design::Vanilla, 4, 24, 24),
+    ];
+    rows.into_iter()
+        .map(|(d, native, virt, nested)| {
+            (
+                d,
+                d.available_in(Env::Native).then_some(native),
+                d.available_in(Env::Virt).then_some(virt),
+                d.available_in(Env::Nested).then_some(nested),
+            )
+        })
+        .collect()
 }
 
 /// §2.1.1 extension: five-level page tables. Returns
@@ -601,14 +618,14 @@ pub fn ext_5level(scale: Scale) -> Result<(f64, f64, f64), SimError> {
             dmt,
             levels,
         )
-        .map_err(|e| e.to_string())?;
+        .map_err(SimError::setup)?;
         for r in w.regions() {
             proc_
                 .mmap(&mut pm, r.base, r.len, VmaKind::Heap)
-                .map_err(|e| e.to_string())?;
+                .map_err(SimError::setup)?;
         }
         for &va in &pages {
-            proc_.populate(&mut pm, va).map_err(|e| e.to_string())?;
+            proc_.populate(&mut pm, va).map_err(SimError::setup)?;
         }
         let mut regs = DmtRegisterFile::new();
         if dmt {
@@ -623,7 +640,7 @@ pub fn ext_5level(scale: Scale) -> Result<(f64, f64, f64), SimError> {
                 let (cyc, size) = if dmt {
                     let out =
                         dmt_core::fetcher::fetch_native(&regs, &mut pm, &mut hier, a.va)
-                            .map_err(|e| e.to_string())?;
+                            .map_err(SimError::setup)?;
                     (out.cycles, out.size)
                 } else {
                     let out = walk_dimension(
@@ -634,7 +651,7 @@ pub fn ext_5level(scale: Scale) -> Result<(f64, f64, f64), SimError> {
                         &mut hier,
                         Some(&mut pwc),
                     )
-                    .map_err(|e| e.to_string())?;
+                    .map_err(SimError::setup)?;
                     (out.cycles, out.size)
                 };
                 tlb.fill(a.va, size);
@@ -700,13 +717,13 @@ pub fn ext_context_switch(
     let mut pm = PhysMemory::new_bytes(touched * 2 + (512 << 20));
 
     let mut build = |pages: &[VirtAddr], base: u64| -> Result<Process, SimError> {
-        let mut p = Process::new(&mut pm, ThpMode::Never).map_err(|e| e.to_string())?;
+        let mut p = Process::new(&mut pm, ThpMode::Never).map_err(SimError::setup)?;
         for r in w.regions() {
             p.mmap(&mut pm, VirtAddr(r.base.raw() + base), r.len, VmaKind::Heap)
-                .map_err(|e| e.to_string())?;
+                .map_err(SimError::setup)?;
         }
         for &va in pages {
-            p.populate(&mut pm, va).map_err(|e| e.to_string())?;
+            p.populate(&mut pm, va).map_err(SimError::setup)?;
         }
         Ok(p)
     };
@@ -749,10 +766,10 @@ pub fn ext_context_switch(
                                 &mut hier,
                                 Some(&mut pwc),
                             )
-                            .map_err(|e| e.to_string())?;
+                            .map_err(SimError::setup)?;
                             (out.cycles, out.size)
                         }
-                        Err(e) => return Err(e.to_string().into()),
+                        Err(e) => return Err(SimError::setup(e)),
                     }
                 } else {
                     let out = walk_dimension(
@@ -763,7 +780,7 @@ pub fn ext_context_switch(
                         &mut hier,
                         Some(&mut pwc),
                     )
-                    .map_err(|e| e.to_string())?;
+                    .map_err(SimError::setup)?;
                     (out.cycles, out.size)
                 };
                 tlb.fill(a.va, size);

@@ -3,8 +3,13 @@
 //! per table/figure of the paper.
 //!
 //! * [`rig`] — the [`rig::Rig`] trait, [`rig::Design`] and [`rig::Env`].
-//! * [`native_rig`] / [`virt_rig`] / [`nested_rig`] — machines under
-//!   test.
+//! * [`backends`] — one module per design: its auxiliary-structure
+//!   setup, translate path, and reference ground truth.
+//! * [`registry`] — the (design × environment) table the rigs and
+//!   `Design::available_in` query; Table 6's N/A cells live here.
+//! * [`native_rig`] / [`virt_rig`] / [`nested_rig`] — thin environment
+//!   shells that own machine state and delegate to a registry-built
+//!   backend.
 //! * [`engine`] — TLB → translate → data-access loop with statistics.
 //! * [`perfmodel`] — the calibrated execution-time model (see DESIGN.md
 //!   for the substitution rationale).
@@ -34,6 +39,7 @@
 //! ```
 
 pub mod ablation;
+pub mod backends;
 pub mod engine;
 pub mod error;
 pub mod experiments;
@@ -41,6 +47,7 @@ pub mod native_rig;
 pub mod nested_rig;
 pub mod overheads;
 pub mod perfmodel;
+pub mod registry;
 pub mod report;
 pub mod rig;
 pub mod runner;

@@ -1,59 +1,23 @@
-//! Native-environment rigs: vanilla radix, FPT, ECPT, ASAP, and DMT over
-//! identical physical memory and workload state.
+//! The native-environment shell: owns a [`NativeMachine`] (physical
+//! memory, process, register file, PWC) and delegates every
+//! design-specific decision to the registry-built
+//! [`NativeTranslator`] backend.
 
-use crate::rig::{Design, Env, RefEntry, Rig, Translation};
-use dmt_baselines::asap::{AsapPrefetcher, AsapStats};
-use dmt_baselines::ecpt::Ecpt;
-use dmt_baselines::fpt::FlatPageTable;
+use crate::backends::{NativeMachine, NativeTranslator};
+use crate::error::SimError;
+use crate::rig::{Design, Env, RefEntry, Rig, Setup, Translation};
 use dmt_cache::hierarchy::MemoryHierarchy;
-use dmt_cache::pwc::PageWalkCache;
-use dmt_core::fetcher;
-use dmt_core::regfile::DmtRegisterFile;
-use dmt_core::DmtError;
-use dmt_mem::buddy::FrameKind;
-use dmt_mem::{PageSize, PhysAddr, PhysMemory, VirtAddr};
-use dmt_os::proc::{Process, ThpMode};
+use dmt_mem::{PhysAddr, PhysMemory, VirtAddr};
+use dmt_os::proc::Process;
 use dmt_telemetry::ComponentCounters;
-use dmt_os::vma::VmaKind;
-use dmt_pgtable::walk::{walk_dimension, WalkDim};
 use dmt_workloads::gen::Workload;
-
-/// Overlap an ASAP prefetch with the walk: the last step's cost becomes
-/// `min(measured, max(L2 latency, DRAM latency - prior steps))` — the
-/// prefetched line cannot arrive faster than one DRAM round trip issued
-/// at TLB-miss time (MICRO'19's timeliness constraint).
-pub(crate) fn asap_adjusted_cycles(
-    total: u64,
-    step_cycles: Vec<u64>,
-    hier: &MemoryHierarchy,
-) -> u64 {
-    let Some((&last, prior)) = step_cycles.split_last() else {
-        return total;
-    };
-    let prior_sum: u64 = prior.iter().sum();
-    let l2 = hier.config().l2.latency;
-    let dram = hier.config().dram_latency;
-    let adjusted = last.min(l2.max(dram.saturating_sub(prior_sum)));
-    total - last + adjusted
-}
 
 /// A native machine running one workload under one design.
 pub struct NativeRig {
-    pm: PhysMemory,
-    proc_: Process,
-    regs: DmtRegisterFile,
-    pwc: PageWalkCache,
-    fpt: Option<FlatPageTable>,
-    ecpt: Option<Ecpt>,
-    asap: Option<AsapPrefetcher>,
-    /// ASAP prefetch counters.
-    pub asap_stats: AsapStats,
+    m: NativeMachine,
+    backend: Box<dyn NativeTranslator>,
     design: Design,
     thp: bool,
-    /// DMT fetcher hits / fallbacks.
-    pub fetch_hits: u64,
-    /// Fallbacks to the x86 walker.
-    pub fallbacks: u64,
 }
 
 impl NativeRig {
@@ -63,165 +27,70 @@ impl NativeRig {
     ///
     /// # Errors
     ///
-    /// Propagates setup failures as typed [`SimError`](crate::error::SimError)s.
+    /// Propagates setup failures as typed [`SimError`]s;
+    /// [`SimError::Unavailable`] if the registry has no native backend
+    /// for `design`.
     pub fn new(
         design: Design,
         thp: bool,
         workload: &dyn Workload,
         trace: &[dmt_workloads::gen::Access],
-    ) -> Result<Self, crate::error::SimError> {
-        Self::with_setup(design, thp, &crate::rig::Setup::of_workload(workload, trace))
+    ) -> Result<Self, SimError> {
+        Self::with_setup(design, thp, &Setup::of_workload(workload, trace))
     }
 
-    /// Build the machine from a [`Setup`](crate::rig::Setup) — regions
-    /// plus touched pages — with no workload generator in sight (the
-    /// trace-replay path).
+    /// Build the machine from a [`Setup`] — regions plus touched pages —
+    /// with no workload generator in sight (the trace-replay path).
     ///
     /// # Errors
     ///
-    /// Propagates setup failures as typed [`SimError`](crate::error::SimError)s.
-    pub fn with_setup(design: Design, thp: bool, setup: &crate::rig::Setup) -> Result<Self, crate::error::SimError> {
-        assert!(design.available_in(Env::Native), "{design:?} has no native mode");
-        let footprint = setup.footprint();
-        // Only touched pages are materialized; the rest is metadata.
-        let pages = &setup.pages;
-        let touched_bytes = (pages.len() as u64) << (if thp { 21 } else { 12 });
-        let mut pm = PhysMemory::new_bytes(
-            touched_bytes * 2 + footprint / 256 + (512 << 20),
-        );
-        let thp_mode = if thp { ThpMode::Always } else { ThpMode::Never };
-        let dmt_managed = matches!(design, Design::Dmt | Design::PvDmt | Design::Asap);
-        let mut proc_ = if dmt_managed {
-            Process::new(&mut pm, thp_mode)
-        } else {
-            Process::new_vanilla(&mut pm, thp_mode)
-        }
-        .map_err(|e| e.to_string())?;
-
-        for r in &setup.regions {
-            proc_
-                .mmap(&mut pm, r.base, r.len, VmaKind::Heap)
-                .map_err(|e| format!("mmap {}: {e}", r.label))?;
-        }
-        for &va in pages {
-            proc_
-                .populate(&mut pm, va)
-                .map_err(|e| format!("populate {va}: {e}"))?;
-        }
-
-        let mut regs = DmtRegisterFile::new();
-        if dmt_managed {
-            proc_.load_registers(&mut regs);
-        }
-
-        // Per-design auxiliary structures, built from the ground truth.
-        let mut fpt = None;
-        let mut ecpt = None;
-        let mut asap = None;
-        match design {
-            Design::Fpt => {
-                let mut t = FlatPageTable::new_host(&mut pm).map_err(|e| e.to_string())?;
-                for (va, pa, size) in Self::collect_mappings(&pm, &proc_, pages)? {
-                    t.map(&mut pm, va, pa, size, |pm, frames| {
-                        pm.alloc_contig(frames, FrameKind::PageTable)
-                    })
-                    .map_err(|e| e.to_string())?;
-                }
-                fpt = Some(t);
-            }
-            Design::Ecpt => {
-                let mappings = Self::collect_mappings(&pm, &proc_, pages)?;
-                let n2m = mappings
-                    .iter()
-                    .filter(|(_, _, s)| *s == PageSize::Size2M)
-                    .count() as u64;
-                let n4k = mappings.len() as u64 - n2m;
-                let mut t = Ecpt::new_sized(
-                    &mut pm,
-                    &mut |pm, frames| pm.alloc_contig(frames, FrameKind::PageTable),
-                    (n4k * 3).max(64),
-                    (n2m * 3).max(8),
-                )
-                .map_err(|e| e.to_string())?;
-                for (va, pa, size) in mappings {
-                    t.map(&mut pm, va, pa, size).map_err(|e| e.to_string())?;
-                }
-                ecpt = Some(t);
-            }
-            Design::Asap => {
-                let l1: Vec<_> = proc_
-                    .mappings()
-                    .iter()
-                    .filter(|m| m.mapping.page_size() == PageSize::Size4K)
-                    .map(|m| m.mapping)
-                    .collect();
-                let l2: Vec<_> = proc_
-                    .mappings()
-                    .iter()
-                    .filter(|m| m.mapping.page_size() == PageSize::Size2M)
-                    .map(|m| m.mapping)
-                    .collect();
-                asap = Some(AsapPrefetcher::new(l1, l2));
-            }
-            _ => {}
-        }
-
-        Ok(NativeRig {
-            pm,
-            proc_,
-            regs,
-            pwc: PageWalkCache::default(),
-            fpt,
-            ecpt,
-            asap,
-            asap_stats: AsapStats::default(),
-            design,
-            thp,
-            fetch_hits: 0,
-            fallbacks: 0,
-        })
+    /// Propagates setup failures as typed [`SimError`]s;
+    /// [`SimError::Unavailable`] if the registry has no native backend
+    /// for `design`.
+    pub fn with_setup(design: Design, thp: bool, setup: &Setup) -> Result<Self, SimError> {
+        let spec = crate::registry::native_spec(design)?;
+        Self::with_translator(design, thp, spec.dmt_managed, setup, spec.build)
     }
 
-    /// Enumerate the touched page mappings `(page base VA, frame base
-    /// PA, size)` from the ground-truth radix table.
-    fn collect_mappings(
-        pm: &PhysMemory,
-        proc_: &Process,
-        pages: &[VirtAddr],
-    ) -> Result<Vec<(VirtAddr, PhysAddr, PageSize)>, String> {
-        let mut entries = Vec::new();
-        let mut seen = std::collections::HashSet::new();
-        for &va in pages {
-            let (pa, size) = proc_
-                .page_table()
-                .translate(pm, va)
-                .ok_or_else(|| format!("page at {va} not populated"))?;
-            let aligned = va.align_down(size);
-            if seen.insert(aligned.raw()) {
-                entries.push((aligned, PhysAddr(pa.raw() & !(size.bytes() - 1)), size));
-            }
-        }
-        Ok(entries)
+    /// Build the machine with an explicit translator factory instead of
+    /// the registered one — the extension point for design *ablations*
+    /// that keep their parent's registry row (e.g. the DESIGN.md §11
+    /// no-fallback-PWC DMT variant). The reported [`Rig::design`] stays
+    /// `design`, so downstream reporting needs no new enum variant.
+    ///
+    /// # Errors
+    ///
+    /// Propagates setup failures as typed [`SimError`]s.
+    pub fn with_translator(
+        design: Design,
+        thp: bool,
+        dmt_managed: bool,
+        setup: &Setup,
+        build: impl FnOnce(&mut NativeMachine, &Setup) -> Result<Box<dyn NativeTranslator>, SimError>,
+    ) -> Result<Self, SimError> {
+        let mut m = NativeMachine::build(dmt_managed, thp, setup)?;
+        let backend = build(&mut m, setup)?;
+        Ok(NativeRig {
+            m,
+            backend,
+            design,
+            thp,
+        })
     }
 
     /// DMT fetcher coverage ratio so far.
     pub fn coverage(&self) -> f64 {
-        let total = self.fetch_hits + self.fallbacks;
-        if total == 0 {
-            1.0
-        } else {
-            self.fetch_hits as f64 / total as f64
-        }
+        self.backend.coverage()
     }
 
     /// The machine's physical memory (read-only; oracle audits).
     pub fn phys(&self) -> &PhysMemory {
-        &self.pm
+        &self.m.pm
     }
 
     /// The machine's process (read-only; oracle audits).
     pub fn process(&self) -> &Process {
-        &self.proc_
+        &self.m.proc_
     }
 }
 
@@ -239,177 +108,34 @@ impl Rig for NativeRig {
     }
 
     fn translate(&mut self, va: VirtAddr, hier: &mut MemoryHierarchy) -> Translation {
-        match self.design {
-            Design::Vanilla => {
-                let out = walk_dimension(
-                    self.proc_.page_table(),
-                    &mut self.pm,
-                    va,
-                    WalkDim::Native,
-                    hier,
-                    Some(&mut self.pwc),
-                )
-                .expect("populated");
-                Translation {
-                    pa: out.pa,
-                    size: out.size,
-                    cycles: out.cycles,
-                    refs: out.refs(),
-                    fallback: false,
-                }
-            }
-            Design::Asap => {
-                // The prefetch is issued at TLB-miss time and overlaps
-                // the walk: the leaf fetch cannot complete before the
-                // prefetched line lands (DRAM round trip), so its cost
-                // becomes min(measured, max(L2, DRAM - prior-steps)).
-                // The predicted slots are recorded for stats; the walk
-                // itself brings the lines into the caches.
-                if let Some(p) = &self.asap {
-                    let n = p.predicted_slots(va, Some).len() as u64;
-                    if n == 0 {
-                        self.asap_stats.uncovered += 1;
-                    } else {
-                        self.asap_stats.prefetches += n;
-                    }
-                }
-                let out = walk_dimension(
-                    self.proc_.page_table(),
-                    &mut self.pm,
-                    va,
-                    WalkDim::Native,
-                    hier,
-                    Some(&mut self.pwc),
-                )
-                .expect("populated");
-                let cycles = asap_adjusted_cycles(
-                    out.cycles,
-                    out.steps.iter().map(|s| s.cycles).collect(),
-                    hier,
-                );
-                Translation {
-                    pa: out.pa,
-                    size: out.size,
-                    cycles,
-                    refs: out.refs(),
-                    fallback: false,
-                }
-            }
-            Design::Fpt => {
-                let out = self
-                    .fpt
-                    .as_mut()
-                    .expect("fpt built")
-                    .translate(&self.pm, hier, va)
-                    .expect("populated");
-                Translation {
-                    pa: out.pa,
-                    size: out.size,
-                    cycles: out.cycles,
-                    refs: out.refs(),
-                    fallback: false,
-                }
-            }
-            Design::Ecpt => {
-                let out = self
-                    .ecpt
-                    .as_mut()
-                    .expect("ecpt built")
-                    .translate(&self.pm, hier, va)
-                    .expect("populated");
-                Translation {
-                    pa: out.pa,
-                    size: out.size,
-                    cycles: out.cycles,
-                    refs: out.seq_refs(),
-                    fallback: false,
-                }
-            }
-            Design::Dmt | Design::PvDmt => {
-                match fetcher::fetch_native(&self.regs, &mut self.pm, hier, va) {
-                    Ok(out) => {
-                        self.fetch_hits += 1;
-                        Translation {
-                            pa: out.pa,
-                            size: out.size,
-                            cycles: out.cycles,
-                            refs: out.refs(),
-                            fallback: false,
-                        }
-                    }
-                    Err(DmtError::NotCovered { .. }) => {
-                        self.fallbacks += 1;
-                        let out = walk_dimension(
-                            self.proc_.page_table(),
-                            &mut self.pm,
-                            va,
-                            WalkDim::Native,
-                            hier,
-                            Some(&mut self.pwc),
-                        )
-                        .expect("populated");
-                        Translation {
-                            pa: out.pa,
-                            size: out.size,
-                            cycles: out.cycles,
-                            refs: out.refs(),
-                            fallback: true,
-                        }
-                    }
-                    Err(e) => panic!("DMT fetch failed unexpectedly: {e}"),
-                }
-            }
-            Design::Shadow | Design::Agile => unreachable!("not native designs"),
-        }
+        self.backend.translate(&mut self.m, va, hier)
     }
 
     fn data_pa(&self, va: VirtAddr) -> PhysAddr {
-        self.proc_
-            .page_table()
-            .translate(&self.pm, va)
-            .expect("populated")
-            .0
+        self.m.data_pa(va)
     }
 
     fn ref_translate(&self, va: VirtAddr) -> Option<RefEntry> {
-        use dmt_pgtable::pte::PteFlags;
-        let (pa, size, flags) = self.proc_.page_table().translate_entry(&self.pm, va)?;
-        Some(RefEntry {
-            pa,
-            size,
-            writable: flags.contains(PteFlags::WRITABLE),
-            user: flags.contains(PteFlags::USER),
-        })
+        self.backend.ref_translate(&self.m, va)
+    }
+
+    fn exits(&self) -> u64 {
+        self.backend.exits(&self.m)
     }
 
     fn faults(&self) -> u64 {
-        self.proc_.faults()
+        self.m.proc_.faults()
     }
 
     fn coverage(&self) -> f64 {
-        NativeRig::coverage(self)
+        self.backend.coverage()
     }
 
     fn component_counters(&self) -> ComponentCounters {
-        let pwc = self.pwc.stats();
-        let alloc = self.pm.buddy().alloc_counters();
-        ComponentCounters {
-            pwc_l2_hits: pwc.l2_hits,
-            pwc_l3_hits: pwc.l3_hits,
-            pwc_l4_hits: pwc.l4_hits,
-            pwc_misses: pwc.misses,
-            alloc_splits: alloc.splits,
-            alloc_merges: alloc.merges,
-            compactions: alloc.compactions,
-            tea_migrations: self.proc_.tea_migrations(),
-            shootdowns: self.proc_.shootdowns(),
-        }
+        self.m.component_counters()
     }
 
     fn frag_sample(&self) -> Option<(f64, u64)> {
-        let b = self.pm.buddy();
-        let rss =
-            b.allocated_of_kind(FrameKind::Data) + b.allocated_of_kind(FrameKind::HugeData);
-        Some((dmt_mem::frag::fragmentation_index(b, 9), rss))
+        self.m.frag_sample()
     }
 }

@@ -1,9 +1,11 @@
-//! Nested-virtualization rigs: the vanilla L2PT × sPT baseline and
-//! nested pvDMT (Figure 17).
+//! The nested-virtualization shell: owns the L0/L1/L2
+//! [`NestedMachine`] stack and delegates every design-specific decision
+//! to the registry-built [`NestedTranslator`] backend (Figure 17).
 
-use crate::rig::{Design, Env, RefEntry, Rig, Translation};
+use crate::backends::NestedTranslator;
+use crate::error::SimError;
+use crate::rig::{Design, Env, RefEntry, Rig, Setup, Translation};
 use dmt_cache::hierarchy::MemoryHierarchy;
-use dmt_core::DmtError;
 use dmt_mem::buddy::FrameKind;
 use dmt_mem::{PhysAddr, VirtAddr};
 use dmt_telemetry::ComponentCounters;
@@ -13,12 +15,9 @@ use dmt_workloads::gen::Workload;
 /// A nested (L0/L1/L2) machine running one workload under one design.
 pub struct NestedRig {
     m: NestedMachine,
+    backend: Box<dyn NestedTranslator>,
     design: Design,
     thp: bool,
-    /// DMT fetcher hits.
-    pub fetch_hits: u64,
-    /// Fallbacks to the 2D baseline walk.
-    pub fallbacks: u64,
 }
 
 impl NestedRig {
@@ -26,25 +25,28 @@ impl NestedRig {
     ///
     /// # Errors
     ///
-    /// Propagates setup failures as typed [`SimError`](crate::error::SimError)s.
+    /// Propagates setup failures as typed [`SimError`]s;
+    /// [`SimError::Unavailable`] if the registry has no nested backend
+    /// for `design`.
     pub fn new(
         design: Design,
         thp: bool,
         workload: &dyn Workload,
         trace: &[dmt_workloads::gen::Access],
-    ) -> Result<Self, crate::error::SimError> {
-        Self::with_setup(design, thp, &crate::rig::Setup::of_workload(workload, trace))
+    ) -> Result<Self, SimError> {
+        Self::with_setup(design, thp, &Setup::of_workload(workload, trace))
     }
 
-    /// Build the machine from a [`Setup`](crate::rig::Setup) — regions
-    /// plus touched pages — with no workload generator in sight (the
-    /// trace-replay path).
+    /// Build the machine from a [`Setup`] — regions plus touched pages —
+    /// with no workload generator in sight (the trace-replay path).
     ///
     /// # Errors
     ///
-    /// Propagates setup failures as typed [`SimError`](crate::error::SimError)s.
-    pub fn with_setup(design: Design, thp: bool, setup: &crate::rig::Setup) -> Result<Self, crate::error::SimError> {
-        assert!(design.available_in(Env::Nested));
+    /// Propagates setup failures as typed [`SimError`]s;
+    /// [`SimError::Unavailable`] if the registry has no nested backend
+    /// for `design`.
+    pub fn with_setup(design: Design, thp: bool, setup: &Setup) -> Result<Self, SimError> {
+        let spec = crate::registry::nested_spec(design)?;
         let footprint = setup.footprint();
         let pages = &setup.pages;
         let touched_bytes = (pages.len() as u64) << (if thp { 21 } else { 12 });
@@ -52,32 +54,27 @@ impl NestedRig {
         let l1_bytes = l2_bytes + (64 << 20);
         let l0_bytes = touched_bytes * 3 + footprint / 128 + (768 << 20);
         let mut m =
-            NestedMachine::new(l0_bytes, l1_bytes, l2_bytes, thp).map_err(|e| e.to_string())?;
-        if design == Design::PvDmt {
+            NestedMachine::new(l0_bytes, l1_bytes, l2_bytes, thp).map_err(SimError::setup)?;
+        if spec.pv_mmap {
             for (base, len) in crate::rig::cluster_regions(&setup.regions, thp) {
-                m.l2_mmap(base, len).map_err(|e| e.to_string())?;
+                m.l2_mmap(base, len).map_err(SimError::setup)?;
             }
         }
         for &va in pages {
-            m.l2_populate(va).map_err(|e| e.to_string())?;
+            m.l2_populate(va).map_err(SimError::setup)?;
         }
+        let backend = (spec.build)(&mut m, setup)?;
         Ok(NestedRig {
             m,
+            backend,
             design,
             thp,
-            fetch_hits: 0,
-            fallbacks: 0,
         })
     }
 
     /// DMT fetcher coverage ratio so far.
     pub fn coverage(&self) -> f64 {
-        let total = self.fetch_hits + self.fallbacks;
-        if total == 0 {
-            1.0
-        } else {
-            self.fetch_hits as f64 / total as f64
-        }
+        self.backend.coverage()
     }
 
     /// The underlying machine.
@@ -100,43 +97,7 @@ impl Rig for NestedRig {
     }
 
     fn translate(&mut self, va: VirtAddr, hier: &mut MemoryHierarchy) -> Translation {
-        match self.design {
-            Design::Vanilla => {
-                let out = self.m.translate_baseline(va, hier).expect("populated");
-                Translation {
-                    pa: out.pa,
-                    size: out.guest_size,
-                    cycles: out.cycles,
-                    refs: out.refs(),
-                    fallback: false,
-                }
-            }
-            Design::PvDmt => match self.m.translate_pvdmt(va, hier) {
-                Ok(out) => {
-                    self.fetch_hits += 1;
-                    Translation {
-                        pa: out.pa,
-                        size: out.size,
-                        cycles: out.cycles,
-                        refs: out.refs(),
-                        fallback: false,
-                    }
-                }
-                Err(DmtError::NotCovered { .. }) => {
-                    self.fallbacks += 1;
-                    let out = self.m.translate_baseline(va, hier).expect("populated");
-                    Translation {
-                        pa: out.pa,
-                        size: out.guest_size,
-                        cycles: out.cycles,
-                        refs: out.refs(),
-                        fallback: true,
-                    }
-                }
-                Err(e) => panic!("nested pvDMT fetch failed: {e}"),
-            },
-            _ => unreachable!("design unavailable in nested virtualization"),
-        }
+        self.backend.translate(&mut self.m, va, hier)
     }
 
     fn data_pa(&self, va: VirtAddr) -> PhysAddr {
@@ -144,26 +105,11 @@ impl Rig for NestedRig {
     }
 
     fn ref_translate(&self, va: VirtAddr) -> Option<RefEntry> {
-        use dmt_pgtable::pte::PteFlags;
-        let (pa, size, flags) = self.m.translate_software_entry(va)?;
-        Some(RefEntry {
-            pa,
-            size,
-            writable: flags.contains(PteFlags::WRITABLE),
-            user: flags.contains(PteFlags::USER),
-        })
+        self.backend.ref_translate(&self.m, va)
     }
 
     fn exits(&self) -> u64 {
-        match self.design {
-            // The baseline pays a shadow sync per L2 fault (plus the
-            // cascaded L1 forwarding, which §5 captures via the exit
-            // *ratio* between nested and single-level virtualization).
-            Design::Vanilla => self.m.faults(),
-            // pvDMT exits only for the cascaded TEA hypercalls.
-            Design::PvDmt => self.m.l2_mappings_count() as u64,
-            _ => 0,
-        }
+        self.backend.exits(&self.m)
     }
 
     fn faults(&self) -> u64 {
@@ -171,7 +117,7 @@ impl Rig for NestedRig {
     }
 
     fn coverage(&self) -> f64 {
-        NestedRig::coverage(self)
+        self.backend.coverage()
     }
 
     fn component_counters(&self) -> ComponentCounters {

@@ -1,0 +1,224 @@
+//! The design registry: the single place that knows which translation
+//! design exists in which environment, and how to build its backend.
+//!
+//! Each backend module exports one [`Registration`] const; the static
+//! [`REGISTRY`] table is their concatenation. Everything downstream is
+//! a query against it:
+//!
+//! * `Design::available_in` asks [`available`] — Table 6's N/A cells
+//!   are `None` entries here, not scattered `match` arms;
+//! * the rigs ask [`native_spec`] / [`virt_spec`] / [`nested_spec`] for
+//!   the machine-construction knobs and the factory that builds the
+//!   boxed translator, and get a typed
+//!   [`SimError::Unavailable`](crate::error::SimError::Unavailable) for
+//!   an N/A cell.
+//!
+//! Adding a design = one new backend module + one row here (and a new
+//! `Design` variant). See DESIGN.md §11 for the walkthrough.
+
+use crate::backends::{
+    self, NativeMachine, NativeTranslator, NestedTranslator, VirtTranslator,
+};
+use crate::error::SimError;
+use crate::rig::{Design, Env, Setup};
+use dmt_mem::Pfn;
+use dmt_virt::machine::{GuestTeaMode, VirtMachine};
+use dmt_virt::nested::NestedMachine;
+
+/// A boot-time contiguous guest-frame arena, carved before data
+/// allocations fragment guest physical memory (FPT/ECPT guest tables
+/// need contiguity, like TEAs).
+pub struct Arena {
+    /// First frame of the carved range.
+    pub base: Pfn,
+    /// Frames in the range.
+    pub frames: u64,
+}
+
+/// Builds a native backend over a fully populated [`NativeMachine`].
+pub type NativeFactory =
+    fn(&mut NativeMachine, &Setup) -> Result<Box<dyn NativeTranslator>, SimError>;
+
+/// Builds a virt backend over a fully populated
+/// [`VirtMachine`], handed the boot-time arena iff the spec requested
+/// one via [`VirtSpec::arena_frames`].
+pub type VirtFactory =
+    fn(&mut VirtMachine, &Setup, Option<Arena>) -> Result<Box<dyn VirtTranslator>, SimError>;
+
+/// Builds a nested backend over a fully populated
+/// [`NestedMachine`].
+pub type NestedFactory =
+    fn(&mut NestedMachine, &Setup) -> Result<Box<dyn NestedTranslator>, SimError>;
+
+/// How to stand a design up on bare metal.
+pub struct NativeSpec {
+    /// Build the TEA-aware process and load the DMT register file.
+    pub dmt_managed: bool,
+    /// Backend factory, run after the machine is populated.
+    pub build: NativeFactory,
+}
+
+/// How to stand a design up in single-level virtualization.
+pub struct VirtSpec {
+    /// Guest TEA placement the machine boots with.
+    pub tea_mode: GuestTeaMode,
+    /// When `Some`, the rig carves this many contiguous guest frames at
+    /// boot and hands them to the factory as an [`Arena`].
+    pub arena_frames: Option<fn(&Setup) -> u64>,
+    /// Backend factory, run after the guest is mapped and populated.
+    pub build: VirtFactory,
+}
+
+/// How to stand a design up in nested virtualization.
+pub struct NestedSpec {
+    /// Pre-announce the workload VMAs to L2 via `l2_mmap` (the
+    /// paravirtualized TEA-creation path).
+    pub pv_mmap: bool,
+    /// Backend factory, run after L2 is populated.
+    pub build: NestedFactory,
+}
+
+/// One design's row: a spec per environment it exists in, `None` for
+/// each of its Table 6 N/A cells.
+pub struct Registration {
+    /// The design this row describes.
+    pub design: Design,
+    /// Bare-metal spec, if the design exists natively.
+    pub native: Option<NativeSpec>,
+    /// Single-level-virtualization spec.
+    pub virt: Option<VirtSpec>,
+    /// Nested-virtualization spec.
+    pub nested: Option<NestedSpec>,
+}
+
+/// Every registered design. Order matches the `Design` enum for
+/// readability; lookups go by the `design` field, not position.
+static REGISTRY: [Registration; 8] = [
+    backends::vanilla::REGISTRATION,
+    backends::shadow::REGISTRATION,
+    backends::fpt::REGISTRATION,
+    backends::ecpt::REGISTRATION,
+    backends::agile::REGISTRATION,
+    backends::asap::REGISTRATION,
+    backends::dmt::REGISTRATION,
+    backends::pvdmt::REGISTRATION,
+];
+
+/// The registry row for a design. Every `Design` variant has exactly
+/// one row (the conformance suite checks this).
+pub fn lookup(design: Design) -> &'static Registration {
+    REGISTRY
+        .iter()
+        .find(|r| r.design == design)
+        .expect("every Design variant has a registry row")
+}
+
+/// Whether `design` has a backend registered for `env` — the data
+/// behind `Design::available_in` (Table 6's N/A cells).
+pub fn available(design: Design, env: Env) -> bool {
+    let r = lookup(design);
+    match env {
+        Env::Native => r.native.is_some(),
+        Env::Virt => r.virt.is_some(),
+        Env::Nested => r.nested.is_some(),
+    }
+}
+
+/// The native spec for `design`, or a typed N/A error.
+pub fn native_spec(design: Design) -> Result<&'static NativeSpec, SimError> {
+    lookup(design).native.as_ref().ok_or(SimError::Unavailable {
+        design,
+        env: Env::Native,
+    })
+}
+
+/// The virt spec for `design`, or a typed N/A error.
+pub fn virt_spec(design: Design) -> Result<&'static VirtSpec, SimError> {
+    lookup(design).virt.as_ref().ok_or(SimError::Unavailable {
+        design,
+        env: Env::Virt,
+    })
+}
+
+/// The nested spec for `design`, or a typed N/A error.
+pub fn nested_spec(design: Design) -> Result<&'static NestedSpec, SimError> {
+    lookup(design).nested.as_ref().ok_or(SimError::Unavailable {
+        design,
+        env: Env::Nested,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Design; 8] = [
+        Design::Vanilla,
+        Design::Shadow,
+        Design::Fpt,
+        Design::Ecpt,
+        Design::Agile,
+        Design::Asap,
+        Design::Dmt,
+        Design::PvDmt,
+    ];
+
+    #[test]
+    fn every_design_has_exactly_one_row() {
+        for d in ALL {
+            assert_eq!(lookup(d).design, d);
+            assert_eq!(REGISTRY.iter().filter(|r| r.design == d).count(), 1);
+        }
+    }
+
+    #[test]
+    fn table6_availability_matrix() {
+        // The paper's Table 6: Shadow and Agile are virt-only; nested
+        // virtualization evaluates only the baseline and pvDMT.
+        for d in ALL {
+            assert_eq!(
+                available(d, Env::Native),
+                !matches!(d, Design::Shadow | Design::Agile)
+            );
+            assert!(available(d, Env::Virt));
+            assert_eq!(
+                available(d, Env::Nested),
+                matches!(d, Design::Vanilla | Design::PvDmt)
+            );
+        }
+    }
+
+    #[test]
+    fn spec_getters_type_the_na_cells() {
+        assert!(matches!(
+            native_spec(Design::Shadow),
+            Err(SimError::Unavailable {
+                design: Design::Shadow,
+                env: Env::Native
+            })
+        ));
+        assert!(matches!(
+            nested_spec(Design::Ecpt),
+            Err(SimError::Unavailable {
+                design: Design::Ecpt,
+                env: Env::Nested
+            })
+        ));
+        assert!(native_spec(Design::Dmt).is_ok());
+        assert!(virt_spec(Design::Shadow).is_ok());
+        assert!(nested_spec(Design::PvDmt).is_ok());
+    }
+
+    #[test]
+    fn dmt_managed_designs_are_the_tea_users() {
+        for d in ALL {
+            if let Ok(s) = native_spec(d) {
+                assert_eq!(
+                    s.dmt_managed,
+                    matches!(d, Design::Dmt | Design::PvDmt | Design::Asap),
+                    "{d:?}"
+                );
+            }
+        }
+    }
+}

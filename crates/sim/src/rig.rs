@@ -66,13 +66,11 @@ impl Design {
     }
 
     /// Whether the design exists in the given environment (Table 6's
-    /// N/A cells).
+    /// N/A cells) — a query against [`crate::registry`], so the answer
+    /// is data (which specs a design registered), not a hand-maintained
+    /// match.
     pub fn available_in(self, env: Env) -> bool {
-        match env {
-            Env::Native => !matches!(self, Design::Shadow | Design::Agile),
-            Env::Virt => true,
-            Env::Nested => matches!(self, Design::Vanilla | Design::PvDmt),
-        }
+        crate::registry::available(self, env)
     }
 }
 

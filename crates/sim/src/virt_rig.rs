@@ -1,62 +1,23 @@
-//! Virtualized-environment rigs: every design of Figure 15 over a shared
-//! [`VirtMachine`].
+//! The virtualized-environment shell: owns the shared
+//! [`VirtMachine`] and delegates every design-specific decision to the
+//! registry-built [`VirtTranslator`] backend.
 
-use crate::rig::{Design, Env, RefEntry, Rig, Translation};
-use dmt_baselines::agile::{agile_sync_events, agile_walk, guest_entry_chain};
-use dmt_baselines::asap::{AsapPrefetcher, AsapStats};
-use dmt_baselines::ecpt::{Ecpt, NestedEcpt};
-use dmt_baselines::fpt::{nested_translate as fpt_nested, FlatPageTable};
+use crate::backends::VirtTranslator;
+use crate::error::SimError;
+use crate::registry::Arena;
+use crate::rig::{Design, Env, RefEntry, Rig, Setup, Translation};
 use dmt_cache::hierarchy::MemoryHierarchy;
-use dmt_core::DmtError;
 use dmt_mem::buddy::FrameKind;
-use dmt_mem::{PageSize, Pfn, PhysAddr, VirtAddr};
+use dmt_mem::{PhysAddr, VirtAddr};
 use dmt_telemetry::ComponentCounters;
-use dmt_virt::machine::{GuestTeaMode, VirtMachine};
+use dmt_virt::machine::VirtMachine;
 use dmt_workloads::gen::Workload;
-
-/// Agile paging's switch point: L4 and L3 shadowed, L2/L1 nested.
-const AGILE_SHADOW_LEVELS: u8 = 2;
-
-/// The backed guest-physical chunks `(gPA, hPA, size)`: 2 MiB where the
-/// backing is a full aligned huge block, 4 KiB otherwise (e.g. inserted
-/// TEA pages).
-fn backed_chunks(m: &VirtMachine) -> Vec<(PhysAddr, PhysAddr, PageSize)> {
-    let frames = m.vm.backed_gframes();
-    let mut out = Vec::new();
-    let mut i = 0;
-    while i < frames.len() {
-        let g = frames[i];
-        let gpa = PhysAddr(g << 12);
-        let hpa = m.vm.gpa_to_hpa(gpa).expect("listed as backed");
-        let huge = m.vm.host_page_size() == PageSize::Size2M
-            && gpa.is_aligned(PageSize::Size2M)
-            && hpa.is_aligned(PageSize::Size2M)
-            && i + 512 <= frames.len()
-            && frames[i + 511] == g + 511;
-        if huge {
-            out.push((gpa, hpa, PageSize::Size2M));
-            i += 512;
-        } else {
-            out.push((gpa, hpa, PageSize::Size4K));
-            i += 1;
-        }
-    }
-    out
-}
 
 /// A virtualized machine running one workload under one design.
 pub struct VirtRig {
     m: VirtMachine,
+    backend: Box<dyn VirtTranslator>,
     design: Design,
-    fpt_pair: Option<(FlatPageTable, FlatPageTable)>,
-    necpt: Option<NestedEcpt>,
-    asap: Option<AsapPrefetcher>,
-    /// ASAP counters.
-    pub asap_stats: AsapStats,
-    /// DMT fetcher hits.
-    pub fetch_hits: u64,
-    /// Fallbacks to the 2D walker.
-    pub fallbacks: u64,
 }
 
 impl VirtRig {
@@ -65,25 +26,28 @@ impl VirtRig {
     ///
     /// # Errors
     ///
-    /// Propagates setup failures as typed [`SimError`](crate::error::SimError)s.
+    /// Propagates setup failures as typed [`SimError`]s;
+    /// [`SimError::Unavailable`] if the registry has no virt backend for
+    /// `design`.
     pub fn new(
         design: Design,
         thp: bool,
         workload: &dyn Workload,
         trace: &[dmt_workloads::gen::Access],
-    ) -> Result<Self, crate::error::SimError> {
-        Self::with_setup(design, thp, &crate::rig::Setup::of_workload(workload, trace))
+    ) -> Result<Self, SimError> {
+        Self::with_setup(design, thp, &Setup::of_workload(workload, trace))
     }
 
-    /// Build the machine from a [`Setup`](crate::rig::Setup) — regions
-    /// plus touched pages — with no workload generator in sight (the
-    /// trace-replay path).
+    /// Build the machine from a [`Setup`] — regions plus touched pages —
+    /// with no workload generator in sight (the trace-replay path).
     ///
     /// # Errors
     ///
-    /// Propagates setup failures as typed [`SimError`](crate::error::SimError)s.
-    pub fn with_setup(design: Design, thp: bool, setup: &crate::rig::Setup) -> Result<Self, crate::error::SimError> {
-        assert!(design.available_in(Env::Virt));
+    /// Propagates setup failures as typed [`SimError`]s;
+    /// [`SimError::Unavailable`] if the registry has no virt backend for
+    /// `design`.
+    pub fn with_setup(design: Design, thp: bool, setup: &Setup) -> Result<Self, SimError> {
+        let spec = crate::registry::virt_spec(design)?;
         let footprint = setup.footprint();
         let pages = &setup.pages;
         let touched_bytes = (pages.len() as u64) << (if thp { 21 } else { 12 });
@@ -91,204 +55,40 @@ impl VirtRig {
         // only touched pages get backed.
         let guest_bytes = footprint + (160 << 20);
         let host_bytes = touched_bytes * 2 + footprint / 256 + (768 << 20);
-        let mode = match design {
-            Design::PvDmt => GuestTeaMode::Pv,
-            Design::Dmt | Design::Asap => GuestTeaMode::Unpv,
-            _ => GuestTeaMode::None,
-        };
-        let mut m =
-            VirtMachine::new(host_bytes, guest_bytes, mode, thp).map_err(|e| e.to_string())?;
-        // FPT/ECPT guest table arenas are carved out at "boot", before
+        let mut m = VirtMachine::new(host_bytes, guest_bytes, spec.tea_mode, thp)
+            .map_err(SimError::setup)?;
+        // Guest table arenas (FPT/ECPT) are carved out at "boot", before
         // data allocations fragment guest physical memory (both designs
         // need contiguity, like TEAs).
-        let arena = match design {
-            Design::Fpt => {
-                let frames = 25 * 512;
-                Some((
-                    m.vm
+        let arena = match spec.arena_frames {
+            Some(frames_of) => {
+                let frames = frames_of(setup);
+                Some(Arena {
+                    base: m
+                        .vm
                         .alloc_guest_contig(&mut m.pm, frames, FrameKind::PageTable)
-                        .map_err(|e| e.to_string())?,
+                        .map_err(SimError::setup)?,
                     frames,
-                ))
+                })
             }
-            Design::Ecpt => {
-                let frames = (((pages.len() as u64) * 3 * 16 * 3) >> 12) + 1024;
-                Some((
-                    m.vm
-                        .alloc_guest_contig(&mut m.pm, frames, FrameKind::PageTable)
-                        .map_err(|e| e.to_string())?,
-                    frames,
-                ))
-            }
-            _ => None,
+            None => None,
         };
         // TEAs are created per VMA *cluster* (§4.2.1); only touched pages
         // are populated.
         for (base, len) in crate::rig::cluster_regions(&setup.regions, thp) {
-            m.guest_mmap(base, len).map_err(|e| e.to_string())?;
+            m.guest_mmap(base, len).map_err(SimError::setup)?;
         }
         for &va in pages {
-            m.guest_populate(va).map_err(|e| e.to_string())?;
+            m.guest_populate(va).map_err(SimError::setup)?;
         }
 
-        let mut fpt_pair = None;
-        let mut necpt = None;
-        let mut asap = None;
-        match design {
-            Design::Fpt => {
-                let (base, frames) = arena.expect("allocated above");
-                fpt_pair = Some(Self::build_fpts(&mut m, pages, base, frames)?);
-            }
-            Design::Ecpt => {
-                let (base, frames) = arena.expect("allocated above");
-                necpt = Some(Self::build_ecpts(&mut m, pages, base, frames)?);
-            }
-            Design::Asap => {
-                let l1: Vec<_> = m
-                    .guest_mappings()
-                    .iter()
-                    .filter(|g| g.page_size() == PageSize::Size4K)
-                    .copied()
-                    .collect();
-                let l2: Vec<_> = m
-                    .guest_mappings()
-                    .iter()
-                    .filter(|g| g.page_size() == PageSize::Size2M)
-                    .copied()
-                    .collect();
-                asap = Some(AsapPrefetcher::new(l1, l2));
-            }
-            _ => {}
-        }
-
-        Ok(VirtRig {
-            m,
-            design,
-            fpt_pair,
-            necpt,
-            asap,
-            asap_stats: AsapStats::default(),
-            fetch_hits: 0,
-            fallbacks: 0,
-        })
-    }
-
-    /// The touched guest mappings `(gva page, gpa frame, size)`.
-    fn collect_guest_mappings(
-        m: &VirtMachine,
-        pages: &[VirtAddr],
-    ) -> Result<Vec<(VirtAddr, PhysAddr, PageSize)>, String> {
-        let view = m.vm.guest_view_ref(&m.pm);
-        let mut out = Vec::new();
-        let mut seen = std::collections::HashSet::new();
-        for &va in pages {
-            let (gpa, size) = m
-                .gpt
-                .translate(&view, va)
-                .ok_or_else(|| format!("guest page {va} not populated"))?;
-            let aligned = va.align_down(size);
-            if seen.insert(aligned.raw()) {
-                out.push((aligned, PhysAddr(gpa.raw() & !(size.bytes() - 1)), size));
-            }
-        }
-        Ok(out)
-    }
-
-    /// Build the guest FPT (tables in guest physical memory, from a
-    /// pre-allocated contiguous arena) and the host FPT mapping the full
-    /// backing.
-    fn build_fpts(
-        m: &mut VirtMachine,
-        pages: &[VirtAddr],
-        arena: Pfn,
-        arena_frames: u64,
-    ) -> Result<(FlatPageTable, FlatPageTable), String> {
-        let mappings = Self::collect_guest_mappings(m, pages)?;
-        let mut bump = arena.0;
-        let mut take = move |frames: u64| {
-            let p = bump;
-            bump += frames;
-            assert!(bump <= arena.0 + arena_frames, "FPT arena exhausted");
-            dmt_mem::Result::Ok(Pfn(p))
-        };
-        let (gfpt, used_frames) = {
-            let mut view = m.vm.guest_view(&mut m.pm);
-            let mut gfpt = FlatPageTable::new(&mut view, &mut |_v, f| take(f))
-                .map_err(|e| e.to_string())?;
-            for (va, gpa, size) in &mappings {
-                gfpt.map(&mut view, *va, *gpa, *size, |_v, f| take(f))
-                    .map_err(|e| e.to_string())?;
-            }
-            (gfpt, arena_frames)
-        };
-        let _ = used_frames;
-        // Host FPT over the backed guest frames.
-        let mut hfpt = FlatPageTable::new_host(&mut m.pm).map_err(|e| e.to_string())?;
-        for (gpa, hpa, size) in backed_chunks(m) {
-            hfpt.map(&mut m.pm, VirtAddr(gpa.raw()), hpa, size, |pm, frames| {
-                pm.alloc_contig(frames, FrameKind::PageTable)
-            })
-            .map_err(|e| e.to_string())?;
-        }
-        Ok((gfpt, hfpt))
-    }
-
-    /// Build guest + host ECPTs.
-    fn build_ecpts(
-        m: &mut VirtMachine,
-        pages: &[VirtAddr],
-        arena: Pfn,
-        arena_frames: u64,
-    ) -> Result<NestedEcpt, String> {
-        let mappings = Self::collect_guest_mappings(m, pages)?;
-        let guest_pages = mappings.len() as u64;
-        let mut bump = arena.0;
-        let mut take = move |frames: u64| {
-            let p = bump;
-            bump += frames;
-            assert!(bump <= arena.0 + arena_frames, "ECPT arena exhausted");
-            dmt_mem::Result::Ok(Pfn(p))
-        };
-        // Size per page size: all mappings are one size per mode.
-        let n2m = mappings
-            .iter()
-            .filter(|(_, _, s)| *s == PageSize::Size2M)
-            .count() as u64;
-        let n4k = guest_pages - n2m;
-        let guest = {
-            let mut view = m.vm.guest_view(&mut m.pm);
-            let mut g = Ecpt::new_sized(
-                &mut view,
-                &mut |_v, f| take(f),
-                (n4k * 3).max(64),
-                (n2m * 3).max(8),
-            )
-            .map_err(|e| e.to_string())?;
-            for (va, gpa, size) in &mappings {
-                g.map_in(&mut view, &mut |_v, f| take(f), *va, *gpa, *size)
-                    .map_err(|e| e.to_string())?;
-            }
-            g
-        };
-        // Host ECPT over the backed guest frames.
-        let chunks = backed_chunks(m);
-        let mut host =
-            Ecpt::new(&mut m.pm, (chunks.len() as u64) * 2).map_err(|e| e.to_string())?;
-        for (gpa, hpa, size) in chunks {
-            host.map(&mut m.pm, VirtAddr(gpa.raw()), hpa, size)
-                .map_err(|e| e.to_string())?;
-        }
-        Ok(NestedEcpt { guest, host })
+        let backend = (spec.build)(&mut m, setup, arena)?;
+        Ok(VirtRig { m, backend, design })
     }
 
     /// DMT fetcher coverage ratio so far.
     pub fn coverage(&self) -> f64 {
-        let total = self.fetch_hits + self.fallbacks;
-        if total == 0 {
-            1.0
-        } else {
-            self.fetch_hits as f64 / total as f64
-        }
+        self.backend.coverage()
     }
 
     /// The underlying machine (experiment probes).
@@ -317,164 +117,7 @@ impl Rig for VirtRig {
     }
 
     fn translate(&mut self, va: VirtAddr, hier: &mut MemoryHierarchy) -> Translation {
-        match self.design {
-            Design::Vanilla => {
-                let out = self.m.translate_nested(va, hier).expect("populated");
-                Translation {
-                    pa: out.pa,
-                    size: out.guest_size,
-                    cycles: out.cycles,
-                    refs: out.refs(),
-                    fallback: false,
-                }
-            }
-            Design::Shadow => {
-                let out = self.m.translate_shadow(va, hier).expect("populated");
-                Translation {
-                    pa: out.pa,
-                    size: out.size,
-                    cycles: out.cycles,
-                    refs: out.refs(),
-                    fallback: false,
-                }
-            }
-            Design::Fpt => {
-                let (gfpt, hfpt) = self.fpt_pair.as_mut().expect("fpt built");
-                let vm = &self.m.vm;
-                let out = fpt_nested(gfpt, hfpt, &self.m.pm, hier, va, |gpa| {
-                    vm.gpa_to_hpa(gpa)
-                })
-                .expect("populated");
-                Translation {
-                    pa: out.pa,
-                    size: out.size,
-                    cycles: out.cycles,
-                    refs: out.refs(),
-                    fallback: false,
-                }
-            }
-            Design::Ecpt => {
-                let n = self.necpt.as_mut().expect("ecpt built");
-                let vm = &self.m.vm;
-                let out = n
-                    .translate(&self.m.pm, hier, va, |gpa| vm.gpa_to_hpa(gpa))
-                    .expect("populated");
-                Translation {
-                    pa: out.pa,
-                    size: out.size,
-                    cycles: out.cycles,
-                    refs: out.seq_refs(),
-                    fallback: false,
-                }
-            }
-            Design::Agile => {
-                let chain = {
-                    let view = self.m.vm.guest_view_ref(&self.m.pm);
-                    guest_entry_chain(&self.m.gpt, &view, va, 4 - AGILE_SHADOW_LEVELS)
-                };
-                let out = agile_walk(
-                    self.m.spt.table(),
-                    &chain,
-                    self.m.vm.hpt(),
-                    &mut self.m.pm,
-                    va,
-                    hier,
-                    self.m.nested_caches.nested_pwc.as_mut(),
-                    AGILE_SHADOW_LEVELS,
-                )
-                .expect("populated");
-                Translation {
-                    pa: out.pa,
-                    size: out.size,
-                    cycles: out.cycles,
-                    refs: out.refs(),
-                    fallback: false,
-                }
-            }
-            Design::Asap => {
-                if let Some(p) = &self.asap {
-                    let vm = &self.m.vm;
-                    let n = p.predicted_slots(va, |gpa| vm.gpa_to_hpa(gpa)).len() as u64;
-                    if n == 0 {
-                        self.asap_stats.uncovered += 1;
-                    } else {
-                        self.asap_stats.prefetches += n;
-                    }
-                }
-                let out = self.m.translate_nested(va, hier).expect("populated");
-                // Timeliness-limited overlap on the final guest-leaf
-                // fetch (see native rig).
-                let cycles = if let Some(gi) = out
-                    .steps
-                    .iter()
-                    .rposition(|s| s.dim == dmt_pgtable::walk::WalkDim::Guest)
-                {
-                    let prior: u64 = out.steps[..gi].iter().map(|s| s.cycles).sum();
-                    let last = out.steps[gi].cycles;
-                    let l2 = hier.config().l2.latency;
-                    let dram = hier.config().dram_latency;
-                    let adj = last.min(l2.max(dram.saturating_sub(prior)));
-                    out.cycles - last + adj
-                } else {
-                    out.cycles
-                };
-                Translation {
-                    pa: out.pa,
-                    size: out.guest_size,
-                    cycles,
-                    refs: out.refs(),
-                    fallback: false,
-                }
-            }
-            Design::Dmt => match self.m.translate_dmt(va, hier) {
-                Ok(out) => {
-                    self.fetch_hits += 1;
-                    Translation {
-                        pa: out.pa,
-                        size: out.size,
-                        cycles: out.cycles,
-                        refs: out.refs(),
-                        fallback: false,
-                    }
-                }
-                Err(DmtError::NotCovered { .. }) => {
-                    self.fallbacks += 1;
-                    let out = self.m.translate_nested(va, hier).expect("populated");
-                    Translation {
-                        pa: out.pa,
-                        size: out.guest_size,
-                        cycles: out.cycles,
-                        refs: out.refs(),
-                        fallback: true,
-                    }
-                }
-                Err(e) => panic!("DMT fetch failed: {e}"),
-            },
-            Design::PvDmt => match self.m.translate_pvdmt(va, hier) {
-                Ok(out) => {
-                    self.fetch_hits += 1;
-                    Translation {
-                        pa: out.pa,
-                        size: out.size,
-                        cycles: out.cycles,
-                        refs: out.refs(),
-                        fallback: false,
-                    }
-                }
-                Err(DmtError::NotCovered { .. }) => {
-                    self.fallbacks += 1;
-                    let out = self.m.translate_nested(va, hier).expect("populated");
-                    Translation {
-                        pa: out.pa,
-                        size: out.guest_size,
-                        cycles: out.cycles,
-                        refs: out.refs(),
-                        fallback: true,
-                    }
-                }
-                Err(e) => panic!("pvDMT fetch failed: {e}"),
-            },
-        }
+        self.backend.translate(&mut self.m, va, hier)
     }
 
     fn data_pa(&self, va: VirtAddr) -> PhysAddr {
@@ -482,29 +125,11 @@ impl Rig for VirtRig {
     }
 
     fn ref_translate(&self, va: VirtAddr) -> Option<RefEntry> {
-        use dmt_pgtable::pte::PteFlags;
-        // Guest leaf decides size and permissions; the host mapping
-        // finishes the PA (the 2D reference path).
-        let view = self.m.vm.guest_view_ref(&self.m.pm);
-        let (gpa, size, flags) = self.m.gpt.translate_entry(&view, va)?;
-        let hpa = self.m.vm.gpa_to_hpa(gpa)?;
-        Some(RefEntry {
-            pa: hpa,
-            size,
-            writable: flags.contains(PteFlags::WRITABLE),
-            user: flags.contains(PteFlags::USER),
-        })
+        self.backend.ref_translate(&self.m, va)
     }
 
     fn exits(&self) -> u64 {
-        match self.design {
-            Design::Shadow => self.m.faults(),
-            Design::Agile => {
-                agile_sync_events(self.m.faults(), AGILE_SHADOW_LEVELS, self.m.guest_thp())
-            }
-            Design::PvDmt => self.m.hypercalls.calls,
-            _ => 0,
-        }
+        self.backend.exits(&self.m)
     }
 
     fn faults(&self) -> u64 {
@@ -512,7 +137,7 @@ impl Rig for VirtRig {
     }
 
     fn coverage(&self) -> f64 {
-        VirtRig::coverage(self)
+        self.backend.coverage()
     }
 
     fn component_counters(&self) -> ComponentCounters {

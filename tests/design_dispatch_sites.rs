@@ -1,0 +1,101 @@
+//! Grep-style lint: per-design translation dispatch lives in
+//! `sim::registry` and the `sim::backends` modules, nowhere else. The
+//! refactor that collapsed the rigs' scattered `match design` arms into
+//! registry-built backends stays collapsed: a new `match` (or
+//! `matches!`) over `Design` in the sim or oracle source trees fails
+//! this test unless it is in an allowlisted location.
+//!
+//! Allowlisted residue:
+//!
+//! * `crates/sim/src/backends/` and `crates/sim/src/registry.rs` — the
+//!   designated dispatch layer;
+//! * exactly one site in `crates/sim/src/experiments.rs` — the §5
+//!   perf-model exit-ratio special case in `speedup_row`, which is
+//!   *reporting* (how a measurement is normalized), not translation
+//!   dispatch.
+//!
+//! Naming sites (`Design::name`, enum definitions, test matrices) don't
+//! trip the scan because it keys on the `match` keyword and a design
+//! mention sharing a line.
+
+use std::path::{Path, PathBuf};
+
+/// Every `.rs` file under the scanned source trees.
+fn rust_sources(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack: Vec<PathBuf> = ["crates/sim/src", "crates/oracle/src"]
+        .iter()
+        .map(|d| root.join(d))
+        .collect();
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else { continue };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out
+}
+
+/// Whether a source line is a design dispatch: the `match` keyword (or
+/// `matches!` macro) and a design scrutinee on one line.
+fn is_design_dispatch(line: &str) -> bool {
+    let trimmed = line.trim_start();
+    if trimmed.starts_with("//") {
+        return false;
+    }
+    let mentions_design = line.contains("design") || line.contains("Design::");
+    (line.contains("match ") || line.contains("matches!")) && mentions_design
+}
+
+fn is_allowlisted_dir(path: &Path) -> bool {
+    let p = path.to_string_lossy().replace('\\', "/");
+    p.contains("/sim/src/backends/") || p.ends_with("/sim/src/registry.rs")
+}
+
+#[test]
+fn design_dispatch_is_confined_to_the_registry_layer() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let sources = rust_sources(root);
+    assert!(
+        sources.len() > 15,
+        "source walk looks broken: only {} files",
+        sources.len()
+    );
+
+    let perfmodel_residue = root.join("crates/sim/src/experiments.rs");
+    let mut residue_hits = 0usize;
+    let mut offenders: Vec<String> = Vec::new();
+    for path in &sources {
+        if is_allowlisted_dir(path) {
+            continue;
+        }
+        let Ok(source) = std::fs::read_to_string(path) else { continue };
+        for (i, line) in source.lines().enumerate() {
+            if !is_design_dispatch(line) {
+                continue;
+            }
+            if path == &perfmodel_residue && line.contains("(m.env, m.design)") {
+                residue_hits += 1;
+                continue;
+            }
+            offenders.push(format!("{}:{}: {}", path.display(), i + 1, line.trim()));
+        }
+    }
+
+    assert!(
+        offenders.is_empty(),
+        "design dispatch outside sim::registry / sim::backends — move it into a \
+         backend module (see DESIGN.md §11):\n{}",
+        offenders.join("\n")
+    );
+    assert_eq!(
+        residue_hits, 1,
+        "the experiments.rs perf-model allowlist covers exactly one site \
+         (speedup_row's exit-ratio normalization); found {residue_hits}"
+    );
+}
