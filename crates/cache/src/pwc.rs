@@ -62,11 +62,23 @@ pub struct PwcStats {
     pub misses: u64,
 }
 
+/// Untagged key bits: VA prefixes never reach bit 48, so the
+/// address-space tag occupies the bits above them (the arrays are fully
+/// associative, so tagging cannot change placement either).
+const ASID_SHIFT: u32 = 48;
+const KEY_MASK: u64 = (1 << ASID_SHIFT) - 1;
+
 /// A page-walk cache over one radix page table.
 ///
 /// Keys are virtual-address prefixes; payloads are the physical base
 /// address of the *next*-level table, which is what the walker needs to
 /// resume from the level below the cached entry.
+///
+/// Like the [`Tlb`](crate::tlb::Tlb), entries carry the current
+/// address-space tag: [`set_asid`](Self::set_asid) switches spaces
+/// without a flush, [`flush_asid`](Self::flush_asid) evicts one tenant.
+/// The default ASID 0 keeps single-address-space use bit-identical to
+/// an untagged cache.
 #[derive(Debug, Clone)]
 pub struct PageWalkCache {
     /// Index 0 → level 2 array, 1 → level 3, 2 → level 4.
@@ -74,6 +86,7 @@ pub struct PageWalkCache {
     payloads: [HashMap<u64, PhysAddr>; 3],
     latency: u64,
     stats: PwcStats,
+    asid: u16,
 }
 
 impl PageWalkCache {
@@ -90,6 +103,7 @@ impl PageWalkCache {
             payloads: [HashMap::new(), HashMap::new(), HashMap::new()],
             latency: config.latency,
             stats: PwcStats::default(),
+            asid: 0,
         }
     }
 
@@ -99,8 +113,41 @@ impl PageWalkCache {
     }
 
     #[inline]
-    fn key(va: VirtAddr, level: u8) -> u64 {
-        va.raw() >> (PAGE_SHIFT + LEVEL_BITS * (level as u32 - 1))
+    fn key(&self, va: VirtAddr, level: u8) -> u64 {
+        (va.raw() >> (PAGE_SHIFT + LEVEL_BITS * (level as u32 - 1)))
+            | ((self.asid as u64) << ASID_SHIFT)
+    }
+
+    /// Switch the cache to another address space; resident entries stay
+    /// but only same-tag entries hit (tagged-hardware context switch).
+    pub fn set_asid(&mut self, asid: u16) {
+        self.asid = asid;
+    }
+
+    /// The address space lookups currently match against.
+    pub fn asid(&self) -> u16 {
+        self.asid
+    }
+
+    /// Evict every entry tagged `asid` (tenant departure or ASID
+    /// recycling). Returns the number of entries invalidated. No
+    /// lookup-stat effects.
+    pub fn flush_asid(&mut self, asid: u16) -> u64 {
+        let tag = (asid as u64) << ASID_SHIFT;
+        let mut n = 0u64;
+        for s in 0..3 {
+            let victims: Vec<u64> = self.arrays[s]
+                .keys()
+                .filter(|k| k & !KEY_MASK == tag)
+                .collect();
+            for key in victims {
+                if self.arrays[s].invalidate(key) {
+                    self.payloads[s].remove(&key);
+                    n += 1;
+                }
+            }
+        }
+        n
     }
 
     #[inline]
@@ -117,7 +164,7 @@ impl PageWalkCache {
     pub fn lookup_deepest(&mut self, va: VirtAddr) -> Option<(u8, PhysAddr)> {
         for level in 2..=4u8 {
             let s = Self::slot(level);
-            let key = Self::key(va, level);
+            let key = self.key(va, level);
             if self.arrays[s].lookup(key) {
                 let base = self.payloads[s][&key];
                 self.stats.hits += 1;
@@ -145,7 +192,7 @@ impl PageWalkCache {
             "PWC caches levels 2..=4, got {level}"
         );
         let s = Self::slot(level);
-        let key = Self::key(va, level);
+        let key = self.key(va, level);
         if let Some(evicted) = self.arrays[s].insert(key) {
             self.payloads[s].remove(&evicted);
         }
@@ -170,7 +217,8 @@ impl PageWalkCache {
         for level in 2..=4u8 {
             let s = Self::slot(level);
             for key in self.arrays[s].keys() {
-                let va = VirtAddr(key << (PAGE_SHIFT + LEVEL_BITS * (level as u32 - 1)));
+                let va =
+                    VirtAddr((key & KEY_MASK) << (PAGE_SHIFT + LEVEL_BITS * (level as u32 - 1)));
                 out.push((level, va, self.payloads[s][&key]));
             }
         }
@@ -300,5 +348,34 @@ mod tests {
     fn filling_leaf_level_panics() {
         let mut pwc = PageWalkCache::default();
         pwc.fill(VirtAddr(0), 1, PhysAddr(0));
+    }
+
+    #[test]
+    fn asids_isolate_walk_caches() {
+        let mut pwc = PageWalkCache::default();
+        let va = VirtAddr(0x40_0000_0000);
+        pwc.fill(va, 2, PhysAddr(0x3000));
+        pwc.set_asid(4);
+        assert_eq!(pwc.lookup_deepest(va), None, "other space must miss");
+        pwc.fill(va, 2, PhysAddr(0x9000));
+        assert_eq!(pwc.lookup_deepest(va), Some((2, PhysAddr(0x9000))));
+        pwc.set_asid(0);
+        assert_eq!(pwc.lookup_deepest(va), Some((2, PhysAddr(0x3000))));
+    }
+
+    #[test]
+    fn flush_asid_evicts_only_the_tag_and_payloads() {
+        let mut pwc = PageWalkCache::default();
+        let va = VirtAddr(0x40_0000_0000);
+        pwc.fill(va, 2, PhysAddr(0x3000));
+        pwc.set_asid(4);
+        pwc.fill(va, 2, PhysAddr(0x9000));
+        pwc.fill(va, 3, PhysAddr(0xa000));
+        assert_eq!(pwc.flush_asid(4), 2);
+        assert_eq!(pwc.lookup_deepest(va), None);
+        pwc.set_asid(0);
+        assert_eq!(pwc.lookup_deepest(va), Some((2, PhysAddr(0x3000))));
+        // entries() masks tags away and never dangles a payload.
+        assert_eq!(pwc.entries(), vec![(2, va, PhysAddr(0x3000))]);
     }
 }

@@ -89,7 +89,20 @@ impl TlbStats {
     }
 }
 
+/// Untagged key bits: VPN-derived keys never reach bit 48, so the
+/// address-space tag lives above them and tagging cannot alias or move
+/// an entry to a different set (set counts are powers of two ≤ 2^48).
+const ASID_SHIFT: u32 = 48;
+const KEY_MASK: u64 = (1 << ASID_SHIFT) - 1;
+
 /// A two-level TLB: per-page-size L1 arrays backed by a shared STLB.
+///
+/// Entries are tagged with the current address-space id (ASID in native,
+/// VMID in virtualized runs): a context switch on tagged hardware is
+/// [`set_asid`](Self::set_asid) with no flush, and a departing tenant is
+/// evicted with [`flush_asid`](Self::flush_asid). The default ASID is 0,
+/// which makes single-address-space use bit-identical to an untagged
+/// TLB.
 #[derive(Debug, Clone)]
 pub struct Tlb {
     l1_4k: SetAssoc,
@@ -97,6 +110,7 @@ pub struct Tlb {
     l1_1g: SetAssoc,
     stlb: SetAssoc,
     stats: TlbStats,
+    asid: u16,
 }
 
 impl Tlb {
@@ -109,6 +123,7 @@ impl Tlb {
             l1_1g: l1(),
             stlb: SetAssoc::with_capacity(config.stlb_entries, config.stlb_ways),
             stats: TlbStats::default(),
+            asid: 0,
         }
     }
 
@@ -120,10 +135,57 @@ impl Tlb {
         }
     }
 
+    /// The tag mixed into every key for the current address space.
+    fn tag(&self) -> u64 {
+        (self.asid as u64) << ASID_SHIFT
+    }
+
+    /// L1 tag: per-size VPN plus the address-space tag.
+    fn l1_key(&self, va: VirtAddr, size: PageSize) -> u64 {
+        va.vpn_for(size) | self.tag()
+    }
+
     /// STLB tag: page-granular VPN disambiguated by size (sizes share the
-    /// STLB but cannot alias).
-    fn stlb_key(va: VirtAddr, size: PageSize) -> u64 {
-        (va.vpn_for(size) << 2) | size.encode() as u64
+    /// STLB but cannot alias), plus the address-space tag.
+    fn stlb_key(&self, va: VirtAddr, size: PageSize) -> u64 {
+        (va.vpn_for(size) << 2) | size.encode() as u64 | self.tag()
+    }
+
+    /// Switch the TLB to another address space. Resident entries stay;
+    /// lookups only see entries whose tag matches (tagged-hardware
+    /// context switch — no flush).
+    pub fn set_asid(&mut self, asid: u16) {
+        self.asid = asid;
+    }
+
+    /// The address space lookups currently match against.
+    pub fn asid(&self) -> u16 {
+        self.asid
+    }
+
+    /// Evict every entry tagged `asid` from both levels (tenant
+    /// departure, ASID recycling, or a directed shootdown). Returns the
+    /// number of entries invalidated. No lookup-stat effects.
+    pub fn flush_asid(&mut self, asid: u16) -> u64 {
+        let tag = (asid as u64) << ASID_SHIFT;
+        let mut n = 0u64;
+        for arr in [
+            &mut self.l1_4k,
+            &mut self.l1_2m,
+            &mut self.l1_1g,
+            &mut self.stlb,
+        ] {
+            let victims: Vec<u64> = arr
+                .keys()
+                .filter(|k| k & !KEY_MASK == tag)
+                .collect();
+            for key in victims {
+                if arr.invalidate(key) {
+                    n += 1;
+                }
+            }
+        }
+        n
     }
 
     /// Look up the translation for `va` assuming it is mapped at `size`.
@@ -132,12 +194,12 @@ impl Tlb {
     /// *not* fill the TLB — call [`fill`](Self::fill) once the walk
     /// completes, as hardware does.
     pub fn lookup(&mut self, va: VirtAddr, size: PageSize) -> TlbHit {
-        let key = va.vpn_for(size);
+        let key = self.l1_key(va, size);
         if self.l1_for(size).lookup(key) {
             self.stats.l1_hits += 1;
             return TlbHit::L1;
         }
-        let skey = Self::stlb_key(va, size);
+        let skey = self.stlb_key(va, size);
         if self.stlb.lookup(skey) {
             self.l1_for(size).insert(key);
             self.stats.stlb_hits += 1;
@@ -152,16 +214,17 @@ impl Tlb {
     pub fn lookup_any(&mut self, va: VirtAddr) -> Option<(TlbHit, PageSize)> {
         // L1 arrays first (all sizes), then the STLB.
         for size in [PageSize::Size1G, PageSize::Size2M, PageSize::Size4K] {
-            let key = va.vpn_for(size);
+            let key = self.l1_key(va, size);
             if self.l1_for(size).lookup(key) {
                 self.stats.l1_hits += 1;
                 return Some((TlbHit::L1, size));
             }
         }
         for size in [PageSize::Size1G, PageSize::Size2M, PageSize::Size4K] {
-            let skey = Self::stlb_key(va, size);
+            let skey = self.stlb_key(va, size);
             if self.stlb.lookup(skey) {
-                self.l1_for(size).insert(va.vpn_for(size));
+                let key = self.l1_key(va, size);
+                self.l1_for(size).insert(key);
                 self.stats.stlb_hits += 1;
                 return Some((TlbHit::Stlb, size));
             }
@@ -172,16 +235,18 @@ impl Tlb {
 
     /// Install a translation after a completed page walk.
     pub fn fill(&mut self, va: VirtAddr, size: PageSize) {
-        let key = va.vpn_for(size);
+        let key = self.l1_key(va, size);
+        let skey = self.stlb_key(va, size);
         self.l1_for(size).insert(key);
-        self.stlb.insert(Self::stlb_key(va, size));
+        self.stlb.insert(skey);
     }
 
     /// Invalidate one translation (e.g. on `munmap` or PTE change).
     pub fn invalidate(&mut self, va: VirtAddr, size: PageSize) {
-        let key = va.vpn_for(size);
+        let key = self.l1_key(va, size);
+        let skey = self.stlb_key(va, size);
         self.l1_for(size).invalidate(key);
-        self.stlb.invalidate(Self::stlb_key(va, size));
+        self.stlb.invalidate(skey);
     }
 
     /// Full flush (context switch without ASIDs / TLB shootdown).
@@ -197,10 +262,20 @@ impl Tlb {
     /// effects) — used by the oracle's shootdown-coherence audit: after an
     /// `munmap` + `invalidate`, no entry for the unmapped range may remain.
     pub fn entries(&self) -> Vec<(VirtAddr, PageSize)> {
-        let mut out: Vec<(VirtAddr, PageSize)> = Vec::new();
-        let mut push = |va: VirtAddr, size: PageSize| {
-            if !out.contains(&(va, size)) {
-                out.push((va, size));
+        self.entries_tagged()
+            .into_iter()
+            .map(|(_, va, size)| (va, size))
+            .collect()
+    }
+
+    /// Every resident translation with its address-space tag, as
+    /// `(asid, page base VA, size)` — [`entries`](Self::entries) plus the
+    /// tag, for per-tenant coherence audits on a shared TLB.
+    pub fn entries_tagged(&self) -> Vec<(u16, VirtAddr, PageSize)> {
+        let mut out: Vec<(u16, VirtAddr, PageSize)> = Vec::new();
+        let mut push = |asid: u16, va: VirtAddr, size: PageSize| {
+            if !out.contains(&(asid, va, size)) {
+                out.push((asid, va, size));
             }
         };
         for (arr, size) in [
@@ -209,12 +284,15 @@ impl Tlb {
             (&self.l1_1g, PageSize::Size1G),
         ] {
             for key in arr.keys() {
-                push(VirtAddr(key << size.shift()), size);
+                let asid = (key >> ASID_SHIFT) as u16;
+                push(asid, VirtAddr((key & KEY_MASK) << size.shift()), size);
             }
         }
         for key in self.stlb.keys() {
+            let asid = (key >> ASID_SHIFT) as u16;
+            let key = key & KEY_MASK;
             let size = PageSize::decode((key & 3) as u8).expect("STLB keys carry a valid size tag");
-            push(VirtAddr((key >> 2) << size.shift()), size);
+            push(asid, VirtAddr((key >> 2) << size.shift()), size);
         }
         out
     }
@@ -362,5 +440,50 @@ mod tests {
         t.fill(VirtAddr(0x1000), PageSize::Size4K);
         t.flush();
         assert_eq!(t.lookup(VirtAddr(0x1000), PageSize::Size4K), TlbHit::Miss);
+    }
+
+    #[test]
+    fn asids_isolate_address_spaces() {
+        let mut t = Tlb::new(TlbConfig::tiny());
+        let va = VirtAddr(0x1000);
+        t.fill(va, PageSize::Size4K);
+        // Same VA in another address space misses without any flush.
+        t.set_asid(7);
+        assert_eq!(t.lookup(va, PageSize::Size4K), TlbHit::Miss);
+        t.fill(va, PageSize::Size4K);
+        assert_eq!(t.lookup(va, PageSize::Size4K), TlbHit::L1);
+        // Switching back finds the original entry still resident.
+        t.set_asid(0);
+        assert_eq!(t.lookup(va, PageSize::Size4K), TlbHit::L1);
+    }
+
+    #[test]
+    fn flush_asid_evicts_only_the_tag() {
+        let mut t = Tlb::new(TlbConfig::tiny());
+        t.fill(VirtAddr(0x1000), PageSize::Size4K);
+        t.set_asid(3);
+        t.fill(VirtAddr(0x1000), PageSize::Size4K);
+        t.fill(VirtAddr(0x20_0000), PageSize::Size2M);
+        // Two tagged translations, each resident in L1 + STLB = 4 entries.
+        assert_eq!(t.flush_asid(3), 4);
+        assert_eq!(t.lookup(VirtAddr(0x1000), PageSize::Size4K), TlbHit::Miss);
+        t.set_asid(0);
+        assert_eq!(t.lookup(VirtAddr(0x1000), PageSize::Size4K), TlbHit::L1);
+        assert_eq!(t.flush_asid(9), 0, "unknown tag flushes nothing");
+    }
+
+    #[test]
+    fn entries_tagged_reports_per_asid() {
+        let mut t = Tlb::new(TlbConfig::tiny());
+        t.fill(VirtAddr(0x1000), PageSize::Size4K);
+        t.set_asid(5);
+        t.fill(VirtAddr(0x2000), PageSize::Size4K);
+        let e = t.entries_tagged();
+        assert!(e.contains(&(0, VirtAddr(0x1000), PageSize::Size4K)));
+        assert!(e.contains(&(5, VirtAddr(0x2000), PageSize::Size4K)));
+        // The untagged view decodes the same VAs regardless of tag.
+        let plain = t.entries();
+        assert!(plain.contains(&(VirtAddr(0x1000), PageSize::Size4K)));
+        assert!(plain.contains(&(VirtAddr(0x2000), PageSize::Size4K)));
     }
 }

@@ -243,6 +243,22 @@ impl<R: Rig> Rig for Checked<R> {
     fn frag_sample(&self) -> Option<(f64, u64)> {
         self.inner.frag_sample()
     }
+
+    fn swap_phys(&mut self, pm: &mut dmt_mem::PhysMemory) -> bool {
+        self.inner.swap_phys(pm)
+    }
+
+    fn swap_pwc(&mut self, pwc: &mut dmt_cache::PageWalkCache) -> bool {
+        self.inner.swap_pwc(pwc)
+    }
+
+    fn release_memory(&mut self) -> u64 {
+        self.inner.release_memory()
+    }
+
+    fn flush_translation_caches(&mut self) {
+        self.inner.flush_translation_caches()
+    }
 }
 
 /// A mutation rig: forwards everything to the wrapped rig but flips one
@@ -325,6 +341,22 @@ impl<R: Rig> Rig for BitFlip<R> {
 
     fn frag_sample(&self) -> Option<(f64, u64)> {
         self.inner.frag_sample()
+    }
+
+    fn swap_phys(&mut self, pm: &mut dmt_mem::PhysMemory) -> bool {
+        self.inner.swap_phys(pm)
+    }
+
+    fn swap_pwc(&mut self, pwc: &mut dmt_cache::PageWalkCache) -> bool {
+        self.inner.swap_pwc(pwc)
+    }
+
+    fn release_memory(&mut self) -> u64 {
+        self.inner.release_memory()
+    }
+
+    fn flush_translation_caches(&mut self) {
+        self.inner.flush_translation_caches()
     }
 }
 

@@ -22,6 +22,7 @@ pub(crate) const REGISTRATION: Registration = Registration {
     virt: Some(VirtSpec {
         tea_mode: GuestTeaMode::None,
         arena_frames: Some(arena_frames),
+        pinned_exit_ratio: None,
         build: build_virt,
     }),
     nested: None,

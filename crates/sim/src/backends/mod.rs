@@ -61,11 +61,32 @@ impl NativeMachine {
     /// per-design knob the registry's
     /// [`NativeSpec`](crate::registry::NativeSpec) carries.
     pub(crate) fn build(dmt_managed: bool, thp: bool, setup: &Setup) -> Result<Self, SimError> {
-        let footprint = setup.footprint();
-        // Only touched pages are materialized; the rest is metadata.
+        Self::build_in(
+            PhysMemory::new_bytes(Self::host_bytes(thp, setup)),
+            dmt_managed,
+            thp,
+            setup,
+        )
+    }
+
+    /// Bytes of host physical memory [`build`](Self::build) provisions
+    /// for this setup — exposed so a multi-tenant node can size one
+    /// shared memory as the sum over its tenants.
+    pub fn host_bytes(thp: bool, setup: &Setup) -> u64 {
+        let touched_bytes = (setup.pages.len() as u64) << (if thp { 21 } else { 12 });
+        touched_bytes * 2 + setup.footprint() / 256 + (512 << 20)
+    }
+
+    /// Build the machine inside an existing physical memory — the
+    /// multi-tenant cloud-node path, where tenants carve their backing
+    /// out of one shared buddy allocator.
+    pub(crate) fn build_in(
+        mut pm: PhysMemory,
+        dmt_managed: bool,
+        thp: bool,
+        setup: &Setup,
+    ) -> Result<Self, SimError> {
         let pages = &setup.pages;
-        let touched_bytes = (pages.len() as u64) << (if thp { 21 } else { 12 });
-        let mut pm = PhysMemory::new_bytes(touched_bytes * 2 + footprint / 256 + (512 << 20));
         let thp_mode = if thp { ThpMode::Always } else { ThpMode::Never };
         let mut proc_ = if dmt_managed {
             Process::new(&mut pm, thp_mode)

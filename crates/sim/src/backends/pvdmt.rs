@@ -24,10 +24,12 @@ pub(crate) const REGISTRATION: Registration = Registration {
     virt: Some(VirtSpec {
         tea_mode: GuestTeaMode::Pv,
         arena_frames: None,
+        pinned_exit_ratio: None,
         build: build_virt,
     }),
     nested: Some(NestedSpec {
         pv_mmap: true,
+        pinned_exit_ratio: None,
         build: build_nested,
     }),
 };

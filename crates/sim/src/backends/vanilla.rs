@@ -20,10 +20,14 @@ pub(crate) const REGISTRATION: Registration = Registration {
     virt: Some(VirtSpec {
         tea_mode: GuestTeaMode::None,
         arena_frames: None,
+        // Exit-free nested paging: the virt normalization baseline.
+        pinned_exit_ratio: Some(0.0),
         build: build_virt,
     }),
     nested: Some(NestedSpec {
         pv_mmap: false,
+        // Full shadow synchronization cost: the nested baseline.
+        pinned_exit_ratio: Some(1.0),
         build: build_nested,
     }),
 };

@@ -126,60 +126,10 @@ where
     for (i, a) in trace.into_iter().enumerate() {
         let a = a.borrow();
         let measured = i >= warmup;
-        match tlb.lookup_any(a.va) {
-            Some((hit, _)) => {
-                if P::ACTIVE && measured {
-                    probe.tlb_lookup(match hit {
-                        TlbHit::L1 => TlbPath::L1,
-                        _ => TlbPath::Stlb,
-                    });
-                }
-            }
-            None => {
-                let before = if P::ACTIVE && measured {
-                    hier.stats()
-                } else {
-                    Default::default()
-                };
-                let tr = rig.translate(a.va, &mut hier);
-                tlb.fill(a.va, tr.size);
-                if measured {
-                    stats.walks += 1;
-                    stats.walk_cycles += tr.cycles;
-                    stats.walk_refs += tr.refs;
-                    if tr.fallback {
-                        stats.fallbacks += 1;
-                    }
-                    if P::ACTIVE {
-                        probe.tlb_lookup(TlbPath::Miss);
-                        probe.walk(tr.cycles, tr.refs, tr.fallback);
-                        let after = hier.stats();
-                        for (level, n) in [
-                            (MemLevel::L1, after.l1_hits - before.l1_hits),
-                            (MemLevel::L2, after.l2_hits - before.l2_hits),
-                            (MemLevel::Llc, after.llc_hits - before.llc_hits),
-                            (MemLevel::Dram, after.dram_accesses - before.dram_accesses),
-                        ] {
-                            if n > 0 {
-                                probe.pte_fetches(level, n);
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        let pa = rig.data_pa(a.va);
-        let (level, cyc) = hier.access(pa.raw());
-        if measured {
-            stats.accesses += 1;
-            stats.data_cycles += cyc;
-            if P::ACTIVE {
-                probe.data_access(mem_level(level), cyc);
-                if sample_every > 0 && stats.accesses % sample_every == 0 {
-                    if let Some((frag, rss)) = rig.frag_sample() {
-                        probe.sample(stats.accesses, frag, rss);
-                    }
-                }
+        step_access(rig, a, measured, &mut tlb, &mut hier, &mut stats, probe);
+        if P::ACTIVE && measured && sample_every > 0 && stats.accesses % sample_every == 0 {
+            if let Some((frag, rss)) = rig.frag_sample() {
+                probe.sample(stats.accesses, frag, rss);
             }
         }
     }
@@ -189,6 +139,76 @@ where
         probe.absorb_components(rig.component_counters());
     }
     stats
+}
+
+/// One access through the TLB → translate → data-access pipeline: the
+/// loop body both [`run_probed`] and the cloud-node scheduler
+/// ([`crate::cloudnode`]) execute, factored out so a one-tenant node is
+/// bit-identical to the single-rig engine *by construction*.
+///
+/// Periodic fragmentation sampling stays with the caller: the single-rig
+/// loop samples on `stats.accesses`, the node on its node-wide access
+/// count, and sampling only reads rig state either way.
+pub(crate) fn step_access<P: Probe>(
+    rig: &mut dyn Rig,
+    a: &Access,
+    measured: bool,
+    tlb: &mut Tlb,
+    hier: &mut MemoryHierarchy,
+    stats: &mut RunStats,
+    probe: &mut P,
+) {
+    match tlb.lookup_any(a.va) {
+        Some((hit, _)) => {
+            if P::ACTIVE && measured {
+                probe.tlb_lookup(match hit {
+                    TlbHit::L1 => TlbPath::L1,
+                    _ => TlbPath::Stlb,
+                });
+            }
+        }
+        None => {
+            let before = if P::ACTIVE && measured {
+                hier.stats()
+            } else {
+                Default::default()
+            };
+            let tr = rig.translate(a.va, hier);
+            tlb.fill(a.va, tr.size);
+            if measured {
+                stats.walks += 1;
+                stats.walk_cycles += tr.cycles;
+                stats.walk_refs += tr.refs;
+                if tr.fallback {
+                    stats.fallbacks += 1;
+                }
+                if P::ACTIVE {
+                    probe.tlb_lookup(TlbPath::Miss);
+                    probe.walk(tr.cycles, tr.refs, tr.fallback);
+                    let after = hier.stats();
+                    for (level, n) in [
+                        (MemLevel::L1, after.l1_hits - before.l1_hits),
+                        (MemLevel::L2, after.l2_hits - before.l2_hits),
+                        (MemLevel::Llc, after.llc_hits - before.llc_hits),
+                        (MemLevel::Dram, after.dram_accesses - before.dram_accesses),
+                    ] {
+                        if n > 0 {
+                            probe.pte_fetches(level, n);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let pa = rig.data_pa(a.va);
+    let (level, cyc) = hier.access(pa.raw());
+    if measured {
+        stats.accesses += 1;
+        stats.data_cycles += cyc;
+        if P::ACTIVE {
+            probe.data_access(mem_level(level), cyc);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -181,13 +181,9 @@ pub fn speedup_row(base: &Measurement, m: &Measurement) -> SpeedupRow {
         1.0
     };
     let er = exit_ratio(m.design, m.stats.exits, m.stats.faults.max(1));
-    // In the nested environment the *baseline* carries full shadow cost,
-    // so its own exit ratio is 1; designs are charged theirs.
-    let er = match (m.env, m.design) {
-        (Env::Nested, Design::Vanilla) => 1.0,
-        (Env::Virt, Design::Vanilla) => 0.0,
-        _ => er,
-    };
+    // The environments' baselines pin their own ratio in the registry
+    // (vanilla virt exit-free, vanilla nested full shadow cost).
+    let er = crate::registry::pinned_exit_ratio(m.design, m.env).unwrap_or(er);
     SpeedupRow {
         workload: m.workload.clone(),
         design: m.design,
@@ -549,6 +545,107 @@ pub fn table6() -> Vec<Table6Row> {
             )
         })
         .collect()
+}
+
+/// One "Table 7" row: a translation design evaluated at *node*
+/// granularity — N tenants interleaved over one shared physical
+/// memory, TLB, and page-walk cache, with kill/restart churn aging the
+/// shared buddy allocator.
+#[derive(Debug, Clone)]
+pub struct Table7Row {
+    /// Environment every tenant of the node ran in.
+    pub env: Env,
+    /// Design under test.
+    pub design: Design,
+    /// Number of tenants on the node.
+    pub tenants: usize,
+    /// Node-level engine statistics (sum over tenants).
+    pub node: RunStats,
+    /// Node-wide average page-walk latency in cycles.
+    pub avg_walk_latency: f64,
+    /// Node-level page-walk speedup over the same-environment vanilla
+    /// node (1.0 for the vanilla rows themselves).
+    pub pw_speedup: f64,
+    /// Scheduler switches between distinct tenants.
+    pub context_switches: u64,
+    /// Per-ASID flushes of the shared TLB/PWC on tenant churn.
+    pub tagged_flushes: u64,
+    /// Shootdown IPIs received by tenants that did not cause them.
+    pub cross_tenant_shootdowns: u64,
+    /// Fragmentation index of the shared buddy at end of run.
+    pub frag_final: f64,
+    /// Mean DMT fetcher coverage across tenants.
+    pub coverage: f64,
+    /// Node-level telemetry, when the runner captures it.
+    pub telemetry: Option<dmt_telemetry::Telemetry>,
+}
+
+/// Table 7: the multi-tenant cloud-node comparison. For each
+/// environment, every registry-available design runs an `n`-tenant
+/// node (tenants cycle through the bench7 suite with skewed weights,
+/// tagged translation caches, mild kill/restart churn) and is compared
+/// against the same environment's vanilla node.
+///
+/// Row order: environments in `Native, Virt, Nested` order, designs in
+/// [`Design::ALL`] order with unavailable cells skipped — vanilla
+/// first in each environment, so the baseline row precedes the rows it
+/// normalizes.
+///
+/// # Errors
+///
+/// Propagates rig construction failures and shared-buddy audit
+/// failures.
+pub fn table7(scale: Scale, n: usize) -> Result<Vec<Table7Row>, SimError> {
+    table7_with(&Runner::from_env(), scale, n)
+}
+
+/// [`table7`] against an explicit runner (tests inject telemetry and
+/// oracle wrappers this way; `table7` itself uses the env-configured
+/// runner).
+///
+/// # Errors
+///
+/// Propagates rig construction failures and shared-buddy audit
+/// failures.
+pub fn table7_with(runner: &Runner, scale: Scale, n: usize) -> Result<Vec<Table7Row>, SimError> {
+    use crate::cloudnode::NodeConfig;
+    // Every node sees the same churn: one kill per bench7 lap of
+    // tenants, capped so restarted-trace replay stays bounded.
+    let kills = n.div_ceil(2).min(4);
+    let cfg = |design, env| {
+        NodeConfig::uniform(design, env, false, scale, n).churn(2 * n.max(2), kills)
+    };
+    let mut rows = Vec::new();
+    for env in [Env::Native, Env::Virt, Env::Nested] {
+        let (base, base_t) = runner.run_node(&cfg(Design::Vanilla, env))?;
+        let base_lat = base.node.avg_walk_latency();
+        let row = |stats: crate::cloudnode::NodeStats, telemetry| {
+            let lat = stats.node.avg_walk_latency();
+            Table7Row {
+                env,
+                design: stats.design,
+                tenants: n,
+                avg_walk_latency: lat,
+                pw_speedup: if lat > 0.0 { base_lat / lat } else { 1.0 },
+                context_switches: stats.context_switches,
+                tagged_flushes: stats.tagged_flushes,
+                cross_tenant_shootdowns: stats.cross_tenant_shootdowns,
+                frag_final: stats.frag_final,
+                coverage: stats.mean_coverage(),
+                node: stats.node,
+                telemetry,
+            }
+        };
+        rows.push(row(base, base_t));
+        for design in Design::ALL {
+            if design == Design::Vanilla || !design.available_in(env) {
+                continue;
+            }
+            let (stats, t) = runner.run_node(&cfg(design, env))?;
+            rows.push(row(stats, t));
+        }
+    }
+    Ok(rows)
 }
 
 /// §2.1.1 extension: five-level page tables. Returns

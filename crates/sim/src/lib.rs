@@ -22,6 +22,9 @@
 //!   environment-read site ([`runner::env_config`]).
 //! * [`sweep`] — parallel (env × design × THP × benchmark) sweeps over
 //!   the shared trace pool, with JSON reports.
+//! * [`cloudnode`] — the multi-tenant cloud-node scenario engine:
+//!   N tenants over one shared physical memory and ASID-tagged
+//!   TLB/PWC, with kill/restart churn and Table 7's node-level sweep.
 //! * [`error`] — the [`error::SimError`] taxonomy.
 //! * [`report`] — ASCII tables and the hand-rolled JSON value.
 //!
@@ -40,6 +43,7 @@
 
 pub mod ablation;
 pub mod backends;
+pub mod cloudnode;
 pub mod engine;
 pub mod error;
 pub mod experiments;
@@ -54,10 +58,12 @@ pub mod runner;
 pub mod sweep;
 pub mod virt_rig;
 
+pub use cloudnode::{ChurnConfig, NodeConfig, NodeStats, Tagging, TenantSpec, TenantStats};
 pub use engine::{ratio, run, run_probed, RunStats};
 pub use error::SimError;
 pub use experiments::{
-    fig14, fig15, fig16, fig17, install_rig_wrapper, table5, table6, telemetry_enabled, Scale,
+    fig14, fig15, fig16, fig17, install_rig_wrapper, table5, table6, table7, telemetry_enabled,
+    Scale, Table7Row,
 };
 pub use rig::{Design, Env, RefEntry, Rig, Setup, Translation};
 pub use runner::{env_config, EnvConfig, Runner, RunnerBuilder, TraceSet};

@@ -52,6 +52,40 @@ impl NativeRig {
         Self::with_translator(design, thp, spec.dmt_managed, setup, spec.build)
     }
 
+    /// Build the machine inside an existing physical memory — the
+    /// multi-tenant cloud-node path, where tenants carve their backing
+    /// out of one shared buddy allocator. The rig takes ownership of
+    /// `pm`; the node lends it back and forth with [`Rig::swap_phys`]
+    /// on context switches.
+    ///
+    /// # Errors
+    ///
+    /// Propagates setup failures as typed [`SimError`]s;
+    /// [`SimError::Unavailable`] if the registry has no native backend
+    /// for `design`.
+    pub fn with_setup_in(
+        pm: PhysMemory,
+        design: Design,
+        thp: bool,
+        setup: &Setup,
+    ) -> Result<Self, SimError> {
+        let spec = crate::registry::native_spec(design)?;
+        let mut m = NativeMachine::build_in(pm, spec.dmt_managed, thp, setup)?;
+        let backend = (spec.build)(&mut m, setup)?;
+        Ok(NativeRig {
+            m,
+            backend,
+            design,
+            thp,
+        })
+    }
+
+    /// Bytes of host physical memory [`with_setup`](Self::with_setup)
+    /// provisions for this setup.
+    pub fn host_bytes(thp: bool, setup: &Setup) -> u64 {
+        NativeMachine::host_bytes(thp, setup)
+    }
+
     /// Build the machine with an explicit translator factory instead of
     /// the registered one — the extension point for design *ablations*
     /// that keep their parent's registry row (e.g. the DESIGN.md §11
@@ -137,5 +171,31 @@ impl Rig for NativeRig {
 
     fn frag_sample(&self) -> Option<(f64, u64)> {
         self.m.frag_sample()
+    }
+
+    fn swap_phys(&mut self, pm: &mut PhysMemory) -> bool {
+        std::mem::swap(&mut self.m.pm, pm);
+        true
+    }
+
+    fn swap_pwc(&mut self, pwc: &mut dmt_cache::PageWalkCache) -> bool {
+        std::mem::swap(&mut self.m.pwc, pwc);
+        true
+    }
+
+    fn release_memory(&mut self) -> u64 {
+        let ids: Vec<_> = self.m.proc_.address_space().iter().map(|v| v.id).collect();
+        let before = self.m.proc_.shootdowns();
+        for id in ids {
+            self.m
+                .proc_
+                .munmap(&mut self.m.pm, id)
+                .expect("unmapping an enumerated VMA");
+        }
+        self.m.proc_.shootdowns() - before
+    }
+
+    fn flush_translation_caches(&mut self) {
+        self.m.pwc.flush();
     }
 }

@@ -46,15 +46,41 @@ impl NestedRig {
     /// [`SimError::Unavailable`] if the registry has no nested backend
     /// for `design`.
     pub fn with_setup(design: Design, thp: bool, setup: &Setup) -> Result<Self, SimError> {
+        let pm = dmt_mem::PhysMemory::new_bytes(Self::host_bytes(thp, setup));
+        Self::with_setup_in(pm, design, thp, setup)
+    }
+
+    /// Bytes of L0 (host) physical memory
+    /// [`with_setup`](Self::with_setup) provisions for this setup.
+    pub fn host_bytes(thp: bool, setup: &Setup) -> u64 {
+        let touched_bytes = (setup.pages.len() as u64) << (if thp { 21 } else { 12 });
+        touched_bytes * 3 + setup.footprint() / 128 + (768 << 20)
+    }
+
+    /// Build the stack inside an existing L0 physical memory — the
+    /// multi-tenant cloud-node path, where tenants carve their backing
+    /// out of one shared buddy allocator. The rig takes ownership of
+    /// `pm`; the node lends it back and forth with [`Rig::swap_phys`]
+    /// on context switches.
+    ///
+    /// # Errors
+    ///
+    /// Propagates setup failures as typed [`SimError`]s;
+    /// [`SimError::Unavailable`] if the registry has no nested backend
+    /// for `design`.
+    pub fn with_setup_in(
+        pm: dmt_mem::PhysMemory,
+        design: Design,
+        thp: bool,
+        setup: &Setup,
+    ) -> Result<Self, SimError> {
         let spec = crate::registry::nested_spec(design)?;
         let footprint = setup.footprint();
         let pages = &setup.pages;
-        let touched_bytes = (pages.len() as u64) << (if thp { 21 } else { 12 });
         let l2_bytes = footprint + (96 << 20);
         let l1_bytes = l2_bytes + (64 << 20);
-        let l0_bytes = touched_bytes * 3 + footprint / 128 + (768 << 20);
         let mut m =
-            NestedMachine::new(l0_bytes, l1_bytes, l2_bytes, thp).map_err(SimError::setup)?;
+            NestedMachine::new_with_pm(pm, l1_bytes, l2_bytes, thp).map_err(SimError::setup)?;
         if spec.pv_mmap {
             for (base, len) in crate::rig::cluster_regions(&setup.regions, thp) {
                 m.l2_mmap(base, len).map_err(SimError::setup)?;
@@ -144,5 +170,19 @@ impl Rig for NestedRig {
         let rss =
             b.allocated_of_kind(FrameKind::Data) + b.allocated_of_kind(FrameKind::HugeData);
         Some((dmt_mem::frag::fragmentation_index(b, 9), rss))
+    }
+
+    fn swap_phys(&mut self, pm: &mut dmt_mem::PhysMemory) -> bool {
+        std::mem::swap(&mut self.m.pm, pm);
+        true
+    }
+
+    fn flush_translation_caches(&mut self) {
+        if let Some(p) = self.m.nested_caches.guest_pwc.as_mut() {
+            p.flush();
+        }
+        if let Some(p) = self.m.nested_caches.nested_pwc.as_mut() {
+            p.flush();
+        }
     }
 }

@@ -65,6 +65,11 @@ pub struct VirtSpec {
     /// When `Some`, the rig carves this many contiguous guest frames at
     /// boot and hands them to the factory as an [`Arena`].
     pub arena_frames: Option<fn(&Setup) -> u64>,
+    /// When `Some`, the §5 perf model charges this exit ratio instead
+    /// of the measured one — the design *is* the environment's
+    /// normalization baseline (vanilla virt runs exit-free nested
+    /// paging, ratio 0).
+    pub pinned_exit_ratio: Option<f64>,
     /// Backend factory, run after the guest is mapped and populated.
     pub build: VirtFactory,
 }
@@ -74,6 +79,10 @@ pub struct NestedSpec {
     /// Pre-announce the workload VMAs to L2 via `l2_mmap` (the
     /// paravirtualized TEA-creation path).
     pub pv_mmap: bool,
+    /// When `Some`, the §5 perf model charges this exit ratio instead
+    /// of the measured one — vanilla nested carries the full shadow
+    /// synchronization cost by definition (ratio 1).
+    pub pinned_exit_ratio: Option<f64>,
     /// Backend factory, run after L2 is populated.
     pub build: NestedFactory,
 }
@@ -138,6 +147,20 @@ pub fn virt_spec(design: Design) -> Result<&'static VirtSpec, SimError> {
         design,
         env: Env::Virt,
     })
+}
+
+/// The exit ratio the §5 perf model must charge `design` in `env`
+/// instead of the measured one, when the registration pins one (the
+/// environments' vanilla baselines). `None` for native (no VM exits to
+/// normalize), for N/A cells, and for every design whose exits are
+/// genuinely measured.
+pub fn pinned_exit_ratio(design: Design, env: Env) -> Option<f64> {
+    let r = lookup(design);
+    match env {
+        Env::Native => None,
+        Env::Virt => r.virt.as_ref().and_then(|s| s.pinned_exit_ratio),
+        Env::Nested => r.nested.as_ref().and_then(|s| s.pinned_exit_ratio),
+    }
 }
 
 /// The nested spec for `design`, or a typed N/A error.

@@ -356,6 +356,75 @@ pub fn pct(x: f64) -> String {
     format!("{:.1}%", x * 100.0)
 }
 
+/// Render Table 7 rows (schema `dmt-table7-v1`): one object per
+/// (environment, design) node with its summed engine statistics, the
+/// multi-tenant event counters, end-of-run fragmentation, and — when
+/// the runner captured it — the node-level telemetry block.
+pub fn table7_json(rows: &[crate::experiments::Table7Row]) -> Json {
+    Json::obj()
+        .set("schema", Json::Str("dmt-table7-v1".into()))
+        .set(
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        let mut row = Json::obj()
+                            .set("env", Json::Str(r.env.name().into()))
+                            .set("design", Json::Str(r.design.name().into()))
+                            .set("tenants", Json::U64(r.tenants as u64))
+                            .set("accesses", Json::U64(r.node.accesses))
+                            .set("walks", Json::U64(r.node.walks))
+                            .set("walk_cycles", Json::U64(r.node.walk_cycles))
+                            .set("avg_walk_latency", Json::F64(r.avg_walk_latency))
+                            .set("pw_speedup", Json::F64(r.pw_speedup))
+                            .set("context_switches", Json::U64(r.context_switches))
+                            .set("tagged_flushes", Json::U64(r.tagged_flushes))
+                            .set(
+                                "cross_tenant_shootdowns",
+                                Json::U64(r.cross_tenant_shootdowns),
+                            )
+                            .set("frag_final", Json::F64(r.frag_final))
+                            .set("coverage", Json::F64(r.coverage));
+                        if let Some(t) = &r.telemetry {
+                            row = row.set("telemetry", telemetry_json(t));
+                        }
+                        row
+                    })
+                    .collect(),
+            ),
+        )
+}
+
+/// Console rendering of Table 7: one row per (environment, design)
+/// node, with the walk-latency comparison and the multi-tenant event
+/// counters.
+pub fn table7_table(rows: &[crate::experiments::Table7Row]) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Table 7 — multi-tenant node ({} tenants): page-walk speedup over vanilla",
+            rows.first().map_or(0, |r| r.tenants)
+        ),
+        &[
+            "env", "design", "walk lat", "pw", "switches", "tag flushes", "xt shootdowns",
+            "frag", "coverage",
+        ],
+    );
+    for r in rows {
+        t.row(vec![
+            r.env.name().to_string(),
+            r.design.name().to_string(),
+            f2(r.avg_walk_latency),
+            speedup(r.pw_speedup),
+            r.context_switches.to_string(),
+            r.tagged_flushes.to_string(),
+            r.cross_tenant_shootdowns.to_string(),
+            f2(r.frag_final),
+            pct(r.coverage),
+        ]);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -51,6 +51,19 @@ pub enum Design {
 }
 
 impl Design {
+    /// Every design, in the paper's comparison order — the canonical
+    /// iteration set for whole-matrix sweeps (Tables 6 and 7).
+    pub const ALL: [Design; 8] = [
+        Design::Vanilla,
+        Design::Shadow,
+        Design::Fpt,
+        Design::Ecpt,
+        Design::Agile,
+        Design::Asap,
+        Design::Dmt,
+        Design::PvDmt,
+    ];
+
     /// Display name as used in the paper's figures.
     pub fn name(self) -> &'static str {
         match self {
@@ -164,6 +177,41 @@ pub trait Rig {
     fn frag_sample(&self) -> Option<(f64, u64)> {
         None
     }
+
+    /// Exchange the rig's machine-level physical memory with `pm`
+    /// (`mem::swap`). The multi-tenant cloud node owns one shared
+    /// `PhysMemory` and lends it to the tenant scheduled on the core;
+    /// every tenant's tables and data coexist in that one allocator, so
+    /// churn ages fragmentation node-wide. Returns `false` (and must
+    /// not touch `pm`) when the rig has no host-level allocator to
+    /// share.
+    fn swap_phys(&mut self, _pm: &mut dmt_mem::PhysMemory) -> bool {
+        false
+    }
+
+    /// Exchange the rig's hardware page-walk cache with `pwc`
+    /// (`mem::swap`) — the cloud node shares one ASID-tagged PWC across
+    /// tenants the way one socket does. Returns `false` (leaving `pwc`
+    /// untouched) when the rig's walk caches are not swappable (the
+    /// virtualized rigs keep theirs machine-internal).
+    fn swap_pwc(&mut self, _pwc: &mut dmt_cache::PageWalkCache) -> bool {
+        false
+    }
+
+    /// Tenant departure: release what the rig can give back to the
+    /// shared allocator (`munmap` every VMA — page-table and TEA frames
+    /// are freed, data frames follow the OS model's leak-on-unmap
+    /// simplification). Returns the number of TLB shootdowns the
+    /// teardown issued. Rigs without a reclaim path return 0.
+    fn release_memory(&mut self) -> u64 {
+        0
+    }
+
+    /// Drop every machine-internal translation cache (PWCs the machine
+    /// owns, shadow walk caches). The cloud node calls this on context
+    /// switches for untagged hardware; rigs with no internal caches do
+    /// nothing.
+    fn flush_translation_caches(&mut self) {}
 }
 
 impl Rig for Box<dyn Rig> {
@@ -209,6 +257,22 @@ impl Rig for Box<dyn Rig> {
 
     fn frag_sample(&self) -> Option<(f64, u64)> {
         (**self).frag_sample()
+    }
+
+    fn swap_phys(&mut self, pm: &mut dmt_mem::PhysMemory) -> bool {
+        (**self).swap_phys(pm)
+    }
+
+    fn swap_pwc(&mut self, pwc: &mut dmt_cache::PageWalkCache) -> bool {
+        (**self).swap_pwc(pwc)
+    }
+
+    fn release_memory(&mut self) -> u64 {
+        (**self).release_memory()
+    }
+
+    fn flush_translation_caches(&mut self) {
+        (**self).flush_translation_caches()
     }
 }
 

@@ -47,15 +47,41 @@ impl VirtRig {
     /// [`SimError::Unavailable`] if the registry has no virt backend for
     /// `design`.
     pub fn with_setup(design: Design, thp: bool, setup: &Setup) -> Result<Self, SimError> {
+        let pm = dmt_mem::PhysMemory::new_bytes(Self::host_bytes(thp, setup));
+        Self::with_setup_in(pm, design, thp, setup)
+    }
+
+    /// Bytes of host physical memory [`with_setup`](Self::with_setup)
+    /// provisions for this setup.
+    pub fn host_bytes(thp: bool, setup: &Setup) -> u64 {
+        let touched_bytes = (setup.pages.len() as u64) << (if thp { 21 } else { 12 });
+        touched_bytes * 2 + setup.footprint() / 256 + (768 << 20)
+    }
+
+    /// Build the machine inside an existing host physical memory — the
+    /// multi-tenant cloud-node path, where tenants carve their backing
+    /// out of one shared buddy allocator. The rig takes ownership of
+    /// `pm`; the node lends it back and forth with [`Rig::swap_phys`]
+    /// on context switches.
+    ///
+    /// # Errors
+    ///
+    /// Propagates setup failures as typed [`SimError`]s;
+    /// [`SimError::Unavailable`] if the registry has no virt backend for
+    /// `design`.
+    pub fn with_setup_in(
+        pm: dmt_mem::PhysMemory,
+        design: Design,
+        thp: bool,
+        setup: &Setup,
+    ) -> Result<Self, SimError> {
         let spec = crate::registry::virt_spec(design)?;
         let footprint = setup.footprint();
         let pages = &setup.pages;
-        let touched_bytes = (pages.len() as u64) << (if thp { 21 } else { 12 });
         // Guest physical space spans the footprint (TEAs are eager) but
         // only touched pages get backed.
         let guest_bytes = footprint + (160 << 20);
-        let host_bytes = touched_bytes * 2 + footprint / 256 + (768 << 20);
-        let mut m = VirtMachine::new(host_bytes, guest_bytes, spec.tea_mode, thp)
+        let mut m = VirtMachine::new_with_pm(pm, guest_bytes, spec.tea_mode, thp)
             .map_err(SimError::setup)?;
         // Guest table arenas (FPT/ECPT) are carved out at "boot", before
         // data allocations fragment guest physical memory (both designs
@@ -168,5 +194,20 @@ impl Rig for VirtRig {
         let rss =
             b.allocated_of_kind(FrameKind::Data) + b.allocated_of_kind(FrameKind::HugeData);
         Some((dmt_mem::frag::fragmentation_index(b, 9), rss))
+    }
+
+    fn swap_phys(&mut self, pm: &mut dmt_mem::PhysMemory) -> bool {
+        std::mem::swap(&mut self.m.pm, pm);
+        true
+    }
+
+    fn flush_translation_caches(&mut self) {
+        if let Some(p) = self.m.nested_caches.guest_pwc.as_mut() {
+            p.flush();
+        }
+        if let Some(p) = self.m.nested_caches.nested_pwc.as_mut() {
+            p.flush();
+        }
+        self.m.shadow_pwc.flush();
     }
 }

@@ -38,9 +38,13 @@ pub enum Counter {
     // OS mapping layer.
     TeaMigrations,
     Shootdowns,
+    // Multi-tenant cloud node (sim::cloudnode).
+    ContextSwitches,
+    TaggedFlushes,
+    CrossTenantShootdowns,
 }
 
-pub const NUM_COUNTERS: usize = 22;
+pub const NUM_COUNTERS: usize = 25;
 
 impl Counter {
     pub const ALL: [Counter; NUM_COUNTERS] = [
@@ -66,6 +70,9 @@ impl Counter {
         Counter::Compactions,
         Counter::TeaMigrations,
         Counter::Shootdowns,
+        Counter::ContextSwitches,
+        Counter::TaggedFlushes,
+        Counter::CrossTenantShootdowns,
     ];
 
     /// Stable export name; changing one is a golden-file break.
@@ -93,6 +100,9 @@ impl Counter {
             Counter::Compactions => "compactions",
             Counter::TeaMigrations => "tea_migrations",
             Counter::Shootdowns => "shootdowns",
+            Counter::ContextSwitches => "context_switches",
+            Counter::TaggedFlushes => "tagged_flushes",
+            Counter::CrossTenantShootdowns => "cross_tenant_shootdowns",
         }
     }
 }

@@ -29,7 +29,7 @@ mod series;
 
 pub use counters::{Counter, Counters, NUM_COUNTERS};
 pub use hist::{bucket_bounds, bucket_of, Histogram, BUCKETS};
-pub use probe::{ComponentCounters, MemLevel, NoopProbe, Probe, TlbPath};
+pub use probe::{ComponentCounters, MemLevel, NodeEvent, NoopProbe, Probe, TlbPath};
 pub use series::{Sample, TimeSeries};
 
 /// `num / den` as `f64`, with the division-by-zero guard in one place.
@@ -147,6 +147,17 @@ impl Probe for Telemetry {
         self.counters.add(Counter::Compactions, c.compactions);
         self.counters.add(Counter::TeaMigrations, c.tea_migrations);
         self.counters.add(Counter::Shootdowns, c.shootdowns);
+    }
+
+    fn node_event(&mut self, ev: NodeEvent, n: u64) {
+        self.counters.add(
+            match ev {
+                NodeEvent::ContextSwitch => Counter::ContextSwitches,
+                NodeEvent::TaggedFlush => Counter::TaggedFlushes,
+                NodeEvent::CrossTenantShootdown => Counter::CrossTenantShootdowns,
+            },
+            n,
+        );
     }
 }
 

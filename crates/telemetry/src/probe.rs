@@ -28,6 +28,17 @@ pub enum MemLevel {
     Dram,
 }
 
+/// A multi-tenant scheduling event on a cloud node (`sim::cloudnode`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeEvent {
+    /// The scheduler switched the node to another tenant.
+    ContextSwitch,
+    /// A per-ASID (tagged) flush of TLB/PWC entries on a switch.
+    TaggedFlush,
+    /// A TLB-shootdown IPI landed on a tenant that didn't cause it.
+    CrossTenantShootdown,
+}
+
 /// End-of-run counters harvested from the rig's components (PWC,
 /// buddy allocator, OS mapping layer). Plain data so rigs can fill it
 /// without depending on the recorder.
@@ -76,6 +87,10 @@ pub trait Probe {
 
     /// End-of-run component counters from the rig.
     fn absorb_components(&mut self, _c: ComponentCounters) {}
+
+    /// `n` multi-tenant scheduling events of kind `ev` occurred on the
+    /// cloud node driving this rig.
+    fn node_event(&mut self, _ev: NodeEvent, _n: u64) {}
 }
 
 /// The disabled probe: `ACTIVE = false`, every method inherits the

@@ -88,7 +88,24 @@ impl VirtMachine {
         mode: GuestTeaMode,
         thp: bool,
     ) -> Result<Self, VirtError> {
-        let mut pm = PhysMemory::new_bytes(host_bytes);
+        Self::new_with_pm(PhysMemory::new_bytes(host_bytes), guest_bytes, mode, thp)
+    }
+
+    /// Build a machine inside an existing host physical memory — the
+    /// multi-tenant cloud-node path, where several machines carve their
+    /// backing out of one shared buddy allocator. The machine takes
+    /// ownership of `pm`; a scheduler can lend it back and forth with
+    /// `std::mem::swap` on context switches.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation failures.
+    pub fn new_with_pm(
+        mut pm: PhysMemory,
+        guest_bytes: u64,
+        mode: GuestTeaMode,
+        thp: bool,
+    ) -> Result<Self, VirtError> {
         let host_size = if thp { PageSize::Size2M } else { PageSize::Size4K };
         let mut vm = Vm::new(&mut pm, guest_bytes, host_size)?;
         let gpt = {

@@ -78,7 +78,24 @@ impl NestedMachine {
     ///
     /// Propagates allocation failures at any level.
     pub fn new(l0_bytes: u64, l1_bytes: u64, l2_bytes: u64, thp: bool) -> Result<Self, VirtError> {
-        let mut pm = PhysMemory::new_bytes(l0_bytes);
+        Self::new_with_pm(PhysMemory::new_bytes(l0_bytes), l1_bytes, l2_bytes, thp)
+    }
+
+    /// Build the stack inside an existing L0 physical memory — the
+    /// multi-tenant cloud-node path, where several machines carve their
+    /// backing out of one shared buddy allocator. The machine takes
+    /// ownership of `pm`; a scheduler can lend it back and forth with
+    /// `std::mem::swap` on context switches.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation failures at any level.
+    pub fn new_with_pm(
+        mut pm: PhysMemory,
+        l1_bytes: u64,
+        l2_bytes: u64,
+        thp: bool,
+    ) -> Result<Self, VirtError> {
         let size = if thp { PageSize::Size2M } else { PageSize::Size4K };
         let vm1 = Vm::new(&mut pm, l1_bytes, size)?;
 

@@ -7,12 +7,13 @@
 //! minutes) — the numbers recorded in EXPERIMENTS.md.
 
 use dmt::sim::experiments::{
-    fig14, fig15, fig16, fig17, scaled_benchmark, table5, table6, Fig4Row, FigureData, Scale,
+    fig14, fig15, fig16, fig17, scaled_benchmark, table5, table6, table7, Fig4Row, FigureData,
+    Scale,
 };
 use dmt::sim::ablation::{policy_comparison, register_sweep, threshold_sweep};
 use dmt::sim::overheads::{hypercall_overhead, management_overhead, memory_overhead};
 use dmt::sim::perfmodel::geomean;
-use dmt::sim::report::{pct, speedup, Table};
+use dmt::sim::report::{pct, speedup, table7_json, table7_table, Table};
 use dmt::sim::rig::Design;
 use dmt::workloads::vma_profile::{benchmark_layouts, characterize};
 
@@ -170,6 +171,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         t.row(vec![d.name().to_string(), f(n), f(v), f(nn)]);
     }
     println!("{t}");
+
+    // ---- Table 7 ------------------------------------------------------
+    // Multi-tenant cloud node: every available design per environment
+    // over a shared-machine node with tagged caches and churn.
+    let t7 = table7(scale, if full { 8 } else { 4 }).map_err(anyhow)?;
+    println!("{}", table7_table(&t7));
+    if let Ok(path) = table7_json(&t7).write_json("table7") {
+        println!("[json: {}]", path.display());
+    }
+    println!("[{:?} elapsed]\n", t0.elapsed());
 
     // ---- §6.3 overheads ----------------------------------------------
     let mgmt = management_overhead(256).map_err(anyhow)?;

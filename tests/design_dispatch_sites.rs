@@ -3,16 +3,12 @@
 //! refactor that collapsed the rigs' scattered `match design` arms into
 //! registry-built backends stays collapsed: a new `match` (or
 //! `matches!`) over `Design` in the sim or oracle source trees fails
-//! this test unless it is in an allowlisted location.
+//! this test unless it is under the designated dispatch layer
+//! (`crates/sim/src/backends/` and `crates/sim/src/registry.rs`).
 //!
-//! Allowlisted residue:
-//!
-//! * `crates/sim/src/backends/` and `crates/sim/src/registry.rs` — the
-//!   designated dispatch layer;
-//! * exactly one site in `crates/sim/src/experiments.rs` — the §5
-//!   perf-model exit-ratio special case in `speedup_row`, which is
-//!   *reporting* (how a measurement is normalized), not translation
-//!   dispatch.
+//! The allowlist of residue outside that layer is empty: the last
+//! holdout — `speedup_row`'s exit-ratio special case — now reads
+//! `registry::pinned_exit_ratio`, data on the vanilla registrations.
 //!
 //! Naming sites (`Design::name`, enum definitions, test matrices) don't
 //! trip the scan because it keys on the `match` keyword and a design
@@ -67,8 +63,6 @@ fn design_dispatch_is_confined_to_the_registry_layer() {
         sources.len()
     );
 
-    let perfmodel_residue = root.join("crates/sim/src/experiments.rs");
-    let mut residue_hits = 0usize;
     let mut offenders: Vec<String> = Vec::new();
     for path in &sources {
         if is_allowlisted_dir(path) {
@@ -79,10 +73,6 @@ fn design_dispatch_is_confined_to_the_registry_layer() {
             if !is_design_dispatch(line) {
                 continue;
             }
-            if path == &perfmodel_residue && line.contains("(m.env, m.design)") {
-                residue_hits += 1;
-                continue;
-            }
             offenders.push(format!("{}:{}: {}", path.display(), i + 1, line.trim()));
         }
     }
@@ -90,12 +80,7 @@ fn design_dispatch_is_confined_to_the_registry_layer() {
     assert!(
         offenders.is_empty(),
         "design dispatch outside sim::registry / sim::backends — move it into a \
-         backend module (see DESIGN.md §11):\n{}",
+         backend module or registry data (see DESIGN.md §11):\n{}",
         offenders.join("\n")
-    );
-    assert_eq!(
-        residue_hits, 1,
-        "the experiments.rs perf-model allowlist covers exactly one site \
-         (speedup_row's exit-ratio normalization); found {residue_hits}"
     );
 }
