@@ -1,0 +1,49 @@
+//! Measure the batched engine against the scalar reference and record
+//! the trajectory: replays the harness slice (see
+//! [`dmt_bench::harness`]), prints a per-cell summary, and writes
+//! `BENCH_7.json` (schema `dmt-bench-v1`) into the output directory
+//! (first CLI argument, default the current directory).
+//!
+//! `DMT_FULL=1` runs the paper-regime scale; the default is the reduced
+//! test scale CI uses.
+
+use dmt_bench::harness::{git_commit, report_json, run_harness};
+
+fn main() {
+    let out_dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| ".".to_string());
+    let scale = dmt_bench::bench_scale();
+    let repeats = 3;
+    let results = match run_harness(scale, repeats) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("perf_harness: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "perf_harness: {} accesses/cell ({} warmup), best of {repeats}",
+        scale.total(),
+        scale.warmup
+    );
+    for r in &results {
+        println!(
+            "{:>11}/{:<7} {:>6}: scalar {:>8.1} ns/acc, batched {:>8.1} ns/acc — {:.2}x",
+            r.env.name(),
+            r.design.name(),
+            r.workload,
+            r.scalar_ns as f64 / r.replayed as f64,
+            r.batched_ns as f64 / r.replayed as f64,
+            r.speedup()
+        );
+    }
+    let json = report_json(&results, scale, &git_commit());
+    match json.write_json_in(std::path::Path::new(&out_dir), "BENCH_7") {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("perf_harness: writing BENCH_7.json: {e}");
+            std::process::exit(1);
+        }
+    }
+}

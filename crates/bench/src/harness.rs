@@ -1,0 +1,244 @@
+//! The batched-engine perf harness (the `perf_harness` binary).
+//!
+//! Drives the [`Runner`] over a fixed (environment × design × benchmark)
+//! slice twice per cell — once with the scalar reference engine, once
+//! with the batched fast path — asserting the two produce bit-identical
+//! [`RunStats`] (the hard correctness gate) before reporting wall-clock
+//! replay throughput, and replays once more under telemetry for the
+//! walk/data latency percentiles. The report serializes as schema
+//! `dmt-bench-v1` (`BENCH_7.json`): all simulation-derived fields are
+//! deterministic; only the `*_ns`/throughput timing fields vary run to
+//! run, which `tests/bench_harness.rs` pins.
+
+use dmt_sim::engine::RunStats;
+use dmt_sim::experiments::{scaled_benchmark, Scale};
+use dmt_sim::report::Json;
+use dmt_sim::rig::{Design, Env, Setup};
+use dmt_sim::{Runner, SimError};
+use std::time::Instant;
+
+/// One harness cell: an (environment, design, benchmark) triple.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessCell {
+    pub env: Env,
+    pub design: Design,
+    /// Benchmark index in paper order.
+    pub bench: usize,
+}
+
+/// The fixed slice the harness sweeps: GUPS (the TLB-thrashing
+/// random-access kernel — the regime batching targets) across the
+/// native and single-level-virtualized baselines and DMT.
+pub fn harness_cells() -> Vec<HarnessCell> {
+    const GUPS: usize = 2;
+    vec![
+        HarnessCell { env: Env::Native, design: Design::Vanilla, bench: GUPS },
+        HarnessCell { env: Env::Native, design: Design::Dmt, bench: GUPS },
+        HarnessCell { env: Env::Virt, design: Design::Vanilla, bench: GUPS },
+        HarnessCell { env: Env::Virt, design: Design::Dmt, bench: GUPS },
+    ]
+}
+
+/// One cell's measured result. Everything except the `*_ns` timings is
+/// a pure function of the cell and scale.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    pub env: Env,
+    pub design: Design,
+    pub workload: String,
+    /// Engine statistics — identical between scalar and batched runs
+    /// (asserted before timing is reported).
+    pub stats: RunStats,
+    /// Total trace length replayed (warmup + measured).
+    pub replayed: u64,
+    /// Best-of-repeats wall time for the scalar reference engine.
+    pub scalar_ns: u64,
+    /// Best-of-repeats wall time for the batched engine.
+    pub batched_ns: u64,
+    pub walk_p50: u64,
+    pub walk_p99: u64,
+    pub data_p50: u64,
+    pub data_p99: u64,
+}
+
+impl CellResult {
+    /// Batched-over-scalar replay speedup.
+    pub fn speedup(&self) -> f64 {
+        self.scalar_ns as f64 / self.batched_ns as f64
+    }
+
+    fn ns_per_access(&self, ns: u64) -> f64 {
+        ns as f64 / self.replayed as f64
+    }
+
+    fn accesses_per_sec(&self, ns: u64) -> f64 {
+        self.replayed as f64 * 1e9 / ns as f64
+    }
+}
+
+/// Time `repeats` fresh-rig replays under `runner`, returning the
+/// stats (identical across repeats — the engine is deterministic) and
+/// the best wall time.
+fn time_replays(
+    runner: &Runner,
+    cell: HarnessCell,
+    setup: &Setup,
+    trace: &[dmt_workloads::gen::Access],
+    warmup: usize,
+    repeats: usize,
+) -> Result<(RunStats, u64), SimError> {
+    let mut best = u64::MAX;
+    let mut stats = None;
+    for _ in 0..repeats.max(1) {
+        let mut rig = runner.build_rig(cell.env, cell.design, false, setup)?;
+        let t0 = Instant::now();
+        let (s, _) = runner.replay(rig.as_mut(), trace, warmup);
+        let ns = t0.elapsed().as_nanos() as u64;
+        best = best.min(ns.max(1));
+        if let Some(prev) = stats {
+            if prev != s {
+                return Err(SimError::Setup(format!(
+                    "nondeterministic replay in {:?}/{:?}",
+                    cell.env, cell.design
+                )));
+            }
+        }
+        stats = Some(s);
+    }
+    Ok((stats.expect("at least one repeat"), best))
+}
+
+/// Run one cell: scalar and batched timed replays (bit-identity
+/// asserted), plus a telemetry replay for the latency percentiles.
+///
+/// # Errors
+///
+/// Rig construction failures, and [`SimError::Setup`] if the batched
+/// engine diverges from the scalar reference — the harness's hard gate.
+pub fn run_cell(cell: HarnessCell, scale: Scale, repeats: usize) -> Result<CellResult, SimError> {
+    let w = scaled_benchmark(cell.bench, scale, false).ok_or(SimError::BenchIndex {
+        index: cell.bench,
+        count: dmt_workloads::bench7::BENCH7_COUNT,
+    })?;
+    let trace = w.trace(scale.total(), 0xD317 ^ cell.design as u64);
+    let setup = Setup::of_workload(w.as_ref(), &trace);
+
+    let scalar = Runner::builder().scalar_engine(true).build();
+    let batched = Runner::builder().build();
+    let (s_stats, scalar_ns) = time_replays(&scalar, cell, &setup, &trace, scale.warmup, repeats)?;
+    let (b_stats, batched_ns) = time_replays(&batched, cell, &setup, &trace, scale.warmup, repeats)?;
+    if s_stats != b_stats {
+        return Err(SimError::Setup(format!(
+            "batched engine diverged from scalar in {}/{}: {:?} vs {:?}",
+            cell.env.name(),
+            cell.design.name(),
+            b_stats,
+            s_stats
+        )));
+    }
+
+    let mut rig = Runner::builder()
+        .telemetry(true)
+        .build()
+        .build_rig(cell.env, cell.design, false, &setup)?;
+    let (t_stats, telemetry) = Runner::builder().telemetry(true).build().replay(
+        rig.as_mut(),
+        &trace,
+        scale.warmup,
+    );
+    if t_stats != b_stats {
+        return Err(SimError::Setup(format!(
+            "telemetry replay perturbed {}/{}",
+            cell.env.name(),
+            cell.design.name()
+        )));
+    }
+    let t = telemetry.expect("telemetry runner captures");
+
+    Ok(CellResult {
+        env: cell.env,
+        design: cell.design,
+        workload: w.name().to_string(),
+        stats: b_stats,
+        replayed: scale.total() as u64,
+        scalar_ns,
+        batched_ns,
+        walk_p50: t.walk_latency.quantile(0.5),
+        walk_p99: t.walk_latency.quantile(0.99),
+        data_p50: t.data_latency.quantile(0.5),
+        data_p99: t.data_latency.quantile(0.99),
+    })
+}
+
+/// Run every [`harness_cells`] cell at `scale`.
+///
+/// # Errors
+///
+/// The first failing cell's error (see [`run_cell`]).
+pub fn run_harness(scale: Scale, repeats: usize) -> Result<Vec<CellResult>, SimError> {
+    harness_cells()
+        .into_iter()
+        .map(|c| run_cell(c, scale, repeats))
+        .collect()
+}
+
+fn engine_json(r: &CellResult, ns: u64) -> Json {
+    Json::obj()
+        .set("ns_total", Json::U64(ns))
+        .set("ns_per_access", Json::F64(r.ns_per_access(ns)))
+        .set("accesses_per_sec", Json::F64(r.accesses_per_sec(ns)))
+}
+
+/// Render the harness results as schema `dmt-bench-v1`.
+pub fn report_json(results: &[CellResult], scale: Scale, commit: &str) -> Json {
+    Json::obj()
+        .set("schema", Json::Str("dmt-bench-v1".into()))
+        .set("commit", Json::Str(commit.into()))
+        .set(
+            "scale",
+            Json::obj()
+                .set("mult4k", Json::U64(scale.mult4k))
+                .set("thp_mult", Json::U64(scale.thp_mult))
+                .set("trace", Json::U64(scale.trace as u64))
+                .set("warmup", Json::U64(scale.warmup as u64)),
+        )
+        .set(
+            "cells",
+            Json::Arr(
+                results
+                    .iter()
+                    .map(|r| {
+                        Json::obj()
+                            .set("env", Json::Str(r.env.name().into()))
+                            .set("design", Json::Str(r.design.name().into()))
+                            .set("workload", Json::Str(r.workload.clone()))
+                            .set("replayed", Json::U64(r.replayed))
+                            .set("accesses", Json::U64(r.stats.accesses))
+                            .set("walks", Json::U64(r.stats.walks))
+                            .set("scalar", engine_json(r, r.scalar_ns))
+                            .set("batched", engine_json(r, r.batched_ns))
+                            .set("speedup", Json::F64(r.speedup()))
+                            .set(
+                                "percentiles",
+                                Json::obj()
+                                    .set("walk_p50", Json::U64(r.walk_p50))
+                                    .set("walk_p99", Json::U64(r.walk_p99))
+                                    .set("data_p50", Json::U64(r.data_p50))
+                                    .set("data_p99", Json::U64(r.data_p99)),
+                            )
+                    })
+                    .collect(),
+            ),
+        )
+}
+
+/// The current git commit, or `"unknown"` outside a repository.
+pub fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}

@@ -5,6 +5,8 @@
 //! translation kernel with criterion. `DMT_FULL=1` switches the printed
 //! experiment to the paper-regime scale used for EXPERIMENTS.md (slower).
 
+pub mod harness;
+
 use dmt_sim::experiments::Scale;
 
 /// The experiment scale for printed tables: `DMT_FULL=1` selects the

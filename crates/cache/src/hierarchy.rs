@@ -157,25 +157,25 @@ impl MemoryHierarchy {
     ///
     /// Misses fill all upper levels (inclusive hierarchy).
     pub fn access(&mut self, paddr: u64) -> (HitLevel, u64) {
+        // Every level either refreshes the line (hit) or fills it
+        // (miss) — the inclusive fill of all upper levels — so each
+        // level is one fused lookup-or-insert scan. Fusing reorders
+        // the fills relative to deeper lookups, but each `SetAssoc`
+        // keeps its own LRU clock and counters, so per-structure state
+        // (and every observable result) is unchanged.
         let line = paddr >> LINE_SHIFT;
-        if self.l1.lookup(line) {
+        if self.l1.lookup_or_insert(line) {
             self.stats.l1_hits += 1;
             return (HitLevel::L1, self.config.l1.latency);
         }
-        if self.l2.lookup(line) {
-            self.l1.insert(line);
+        if self.l2.lookup_or_insert(line) {
             self.stats.l2_hits += 1;
             return (HitLevel::L2, self.config.l2.latency);
         }
-        if self.llc.lookup(line) {
-            self.l2.insert(line);
-            self.l1.insert(line);
+        if self.llc.lookup_or_insert(line) {
             self.stats.llc_hits += 1;
             return (HitLevel::Llc, self.config.llc.latency);
         }
-        self.llc.insert(line);
-        self.l2.insert(line);
-        self.l1.insert(line);
         self.stats.dram_accesses += 1;
         (HitLevel::Dram, self.config.dram_latency)
     }
@@ -191,6 +191,17 @@ impl MemoryHierarchy {
         let line = paddr >> LINE_SHIFT;
         self.llc.insert(line);
         self.l2.insert(line);
+    }
+
+    /// Hint the host CPU to pull every level's set storage for `paddr`
+    /// into its own caches (see [`SetAssoc::prefetch`]). No simulated
+    /// state change.
+    #[inline]
+    pub fn prefetch(&self, paddr: u64) {
+        let line = paddr >> LINE_SHIFT;
+        self.l1.prefetch(line);
+        self.l2.prefetch(line);
+        self.llc.prefetch(line);
     }
 
     /// Whether the line containing `paddr` currently resides at or above

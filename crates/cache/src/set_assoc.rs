@@ -19,11 +19,58 @@
 pub struct SetAssoc {
     sets: u64,
     ways: usize,
-    /// `(key, last-use stamp)` per way, per set. Empty ways hold `None`.
-    lines: Vec<Vec<Option<(u64, u64)>>>,
+    /// `(key, last-use stamp)` flattened as `set * ways + way`, so one
+    /// set's ways share cache lines (this sits on the hot path of every
+    /// simulated memory reference). Stamp 0 marks an empty way: the
+    /// clock pre-increments, so live entries always carry a stamp ≥ 1.
+    lines: Vec<(u64, u64)>,
     stamp: u64,
+    /// Live-entry count, maintained on every fill/invalidate so the
+    /// read-only probes can skip scanning structures that are empty.
+    occupied: u64,
     hits: u64,
     misses: u64,
+}
+
+/// Ask the kernel to back a large allocation with transparent huge
+/// pages. The multi-MiB arrays modelling L2/LLC are touched at random
+/// sets on every simulated reference; on `madvise`-mode THP hosts they
+/// would otherwise sit on 4 KiB pages and pay a host dTLB walk per
+/// touch. Pure host-level hint — simulated behavior is unaffected.
+/// Issued as a raw `madvise(MADV_HUGEPAGE)` syscall to avoid a libc
+/// dependency; failures (or non-Linux-x86-64 hosts) are ignored.
+fn advise_hugepages(lines: &[(u64, u64)]) {
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    {
+        const HUGE: usize = 2 << 20;
+        let ptr = lines.as_ptr() as usize;
+        let len = std::mem::size_of_val(lines);
+        if len < HUGE {
+            return;
+        }
+        let start = (ptr + HUGE - 1) & !(HUGE - 1);
+        let end = (ptr + len) & !(HUGE - 1);
+        if end <= start {
+            return;
+        }
+        unsafe {
+            let ret: isize;
+            std::arch::asm!(
+                "syscall",
+                in("rax") 28usize,      // __NR_madvise
+                in("rdi") start,
+                in("rsi") end - start,
+                in("rdx") 14usize,      // MADV_HUGEPAGE
+                out("rcx") _,
+                out("r11") _,
+                lateout("rax") ret,
+                options(nostack),
+            );
+            let _ = ret;
+        }
+    }
+    #[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+    let _ = lines;
 }
 
 impl SetAssoc {
@@ -34,11 +81,14 @@ impl SetAssoc {
     /// Panics if `sets` or `ways` is zero.
     pub fn new(sets: u64, ways: usize) -> Self {
         assert!(sets > 0 && ways > 0, "cache geometry must be non-zero");
+        let lines = vec![(0, 0); sets as usize * ways];
+        advise_hugepages(&lines);
         SetAssoc {
             sets,
             ways,
-            lines: vec![vec![None; ways]; sets as usize],
+            lines,
             stamp: 0,
+            occupied: 0,
             hits: 0,
             misses: 0,
         }
@@ -73,13 +123,26 @@ impl SetAssoc {
         self.sets * self.ways as u64
     }
 
+    fn set_range(&self, key: u64) -> std::ops::Range<usize> {
+        // Every simulated memory reference lands here; dodge the 64-bit
+        // divide for the (ubiquitous) power-of-two set counts.
+        let set = if self.sets.is_power_of_two() {
+            key & (self.sets - 1)
+        } else {
+            key % self.sets
+        };
+        let base = set as usize * self.ways;
+        base..base + self.ways
+    }
+
     /// Look up a key, updating LRU state and hit/miss counters.
     pub fn lookup(&mut self, key: u64) -> bool {
         self.stamp += 1;
-        let set = &mut self.lines[(key % self.sets) as usize];
-        for way in set.iter_mut().flatten() {
-            if way.0 == key {
-                way.1 = self.stamp;
+        let stamp = self.stamp;
+        let range = self.set_range(key);
+        for way in &mut self.lines[range] {
+            if way.1 != 0 && way.0 == key {
+                way.1 = stamp;
                 self.hits += 1;
                 return true;
             }
@@ -88,12 +151,90 @@ impl SetAssoc {
         false
     }
 
+    /// [`lookup`](Self::lookup) fused with the miss-path
+    /// [`insert`](Self::insert): one scan of the set serves both. On a
+    /// hit this is exactly `lookup` (stamp refresh, hit counter); on a
+    /// miss it performs the insert a caller would issue next — same two
+    /// clock ticks, same empty-way/LRU-victim choice — without
+    /// rescanning. Returns whether the key hit. The evicted key (if
+    /// any) is discarded, so this suits callers that ignore
+    /// `insert`'s return value, like the inclusive hierarchy.
+    pub fn lookup_or_insert(&mut self, key: u64) -> bool {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let range = self.set_range(key);
+        let set = &mut self.lines[range];
+        let mut empty = None;
+        let mut victim = 0;
+        let mut victim_stamp = u64::MAX;
+        for (i, way) in set.iter_mut().enumerate() {
+            if way.1 == 0 {
+                if empty.is_none() {
+                    empty = Some(i);
+                }
+            } else if way.0 == key {
+                way.1 = stamp;
+                self.hits += 1;
+                return true;
+            } else if way.1 < victim_stamp {
+                victim_stamp = way.1;
+                victim = i;
+            }
+        }
+        self.misses += 1;
+        // The fill gets its own clock tick, exactly as a separate
+        // `insert` call after the failed `lookup` would.
+        self.stamp += 1;
+        let slot = empty.unwrap_or(victim);
+        set[slot] = (key, self.stamp);
+        if empty.is_some() {
+            self.occupied += 1;
+        }
+        false
+    }
+
+    /// Account a lookup that is already known to miss (the caller
+    /// proved absence with [`contains`](Self::contains)): advances the
+    /// LRU clock and the miss counter exactly as a failed
+    /// [`lookup`](Self::lookup) would, without rescanning the set.
+    pub fn record_miss(&mut self) {
+        self.stamp += 1;
+        self.misses += 1;
+    }
+
+    /// Hint the host CPU to pull the storage behind `key`'s set into
+    /// its own caches. Pure hardware hint: no simulated state, LRU, or
+    /// counter changes. The batched engine calls this for upcoming
+    /// accesses whose addresses it already knows, overlapping the host
+    /// cache misses that an element-at-a-time walk would serialize.
+    #[inline]
+    pub fn prefetch(&self, key: u64) {
+        let range = self.set_range(key);
+        #[cfg(target_arch = "x86_64")]
+        {
+            // A set spans `ways * 16` bytes; touch each 64-byte line.
+            let base = self.lines[range].as_ptr();
+            for line in 0..(self.ways * 16).div_ceil(64) {
+                unsafe {
+                    core::arch::x86_64::_mm_prefetch(
+                        base.byte_add(line * 64) as *const i8,
+                        core::arch::x86_64::_MM_HINT_T0,
+                    );
+                }
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = range;
+    }
+
     /// Probe for a key without touching LRU state or counters.
     pub fn contains(&self, key: u64) -> bool {
-        self.lines[(key % self.sets) as usize]
+        if self.occupied == 0 {
+            return false;
+        }
+        self.lines[self.set_range(key)]
             .iter()
-            .flatten()
-            .any(|w| w.0 == key)
+            .any(|w| w.1 != 0 && w.0 == key)
     }
 
     /// Insert a key (no-op if already present; refreshes its LRU stamp).
@@ -101,37 +242,43 @@ impl SetAssoc {
     pub fn insert(&mut self, key: u64) -> Option<u64> {
         self.stamp += 1;
         let stamp = self.stamp;
-        let set = &mut self.lines[(key % self.sets) as usize];
-        // Refresh if present.
-        for way in set.iter_mut().flatten() {
-            if way.0 == key {
+        let range = self.set_range(key);
+        let set = &mut self.lines[range];
+        // One scan: refresh if present, otherwise remember the first
+        // empty way and the least-recently-used victim.
+        let mut empty = None;
+        let mut victim = 0;
+        let mut victim_stamp = u64::MAX;
+        for (i, way) in set.iter_mut().enumerate() {
+            if way.1 == 0 {
+                if empty.is_none() {
+                    empty = Some(i);
+                }
+            } else if way.0 == key {
                 way.1 = stamp;
                 return None;
+            } else if way.1 < victim_stamp {
+                victim_stamp = way.1;
+                victim = i;
             }
         }
-        // Fill an empty way.
-        if let Some(slot) = set.iter_mut().find(|w| w.is_none()) {
-            *slot = Some((key, stamp));
+        if let Some(i) = empty {
+            set[i] = (key, stamp);
+            self.occupied += 1;
             return None;
         }
-        // Evict the least recently used way.
-        let victim_idx = set
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, w)| w.map(|(_, s)| s).unwrap_or(0))
-            .map(|(i, _)| i)
-            .expect("ways > 0");
-        let evicted = set[victim_idx].map(|(k, _)| k);
-        set[victim_idx] = Some((key, stamp));
-        evicted
+        let evicted = set[victim].0;
+        set[victim] = (key, stamp);
+        Some(evicted)
     }
 
     /// Remove a key if present. Returns whether it was present.
     pub fn invalidate(&mut self, key: u64) -> bool {
-        let set = &mut self.lines[(key % self.sets) as usize];
-        for way in set.iter_mut() {
-            if way.map(|(k, _)| k) == Some(key) {
-                *way = None;
+        let range = self.set_range(key);
+        for way in &mut self.lines[range] {
+            if way.1 != 0 && way.0 == key {
+                *way = (0, 0);
+                self.occupied -= 1;
                 return true;
             }
         }
@@ -140,9 +287,8 @@ impl SetAssoc {
 
     /// Drop every entry (e.g. a full TLB flush on context switch).
     pub fn flush(&mut self) {
-        for set in &mut self.lines {
-            set.fill(None);
-        }
+        self.lines.fill((0, 0));
+        self.occupied = 0;
     }
 
     /// Hits recorded by [`lookup`](Self::lookup).
@@ -164,15 +310,16 @@ impl SetAssoc {
     /// Iterate over all resident keys (any order). Does not touch LRU
     /// state or counters — this is the oracle's coherence-audit view.
     pub fn keys(&self) -> impl Iterator<Item = u64> + '_ {
-        self.lines.iter().flatten().flatten().map(|(k, _)| *k)
+        self.lines.iter().filter(|w| w.1 != 0).map(|(k, _)| *k)
     }
 
     /// Number of occupied entries.
     pub fn occupancy(&self) -> u64 {
-        self.lines
-            .iter()
-            .map(|s| s.iter().flatten().count() as u64)
-            .sum()
+        debug_assert_eq!(
+            self.occupied,
+            self.lines.iter().filter(|w| w.1 != 0).count() as u64
+        );
+        self.occupied
     }
 }
 
@@ -263,5 +410,26 @@ mod tests {
         let evicted = c.insert(2);
         assert_eq!(evicted, Some(0));
         assert_eq!(c.hits(), 0);
+    }
+
+    #[test]
+    fn record_miss_matches_a_proven_absent_lookup() {
+        // Two caches, same history: one takes a failed `lookup(99)`,
+        // the other a `contains`-proven `record_miss`. Stats, LRU
+        // order, and subsequent eviction behaviour must be identical.
+        let mut a = SetAssoc::new(1, 2);
+        let mut b = SetAssoc::new(1, 2);
+        for c in [&mut a, &mut b] {
+            c.insert(0);
+            c.insert(1);
+        }
+        assert!(!a.lookup(99));
+        assert!(!b.contains(99));
+        b.record_miss();
+        assert_eq!(a.misses(), b.misses());
+        assert_eq!(a.hits(), b.hits());
+        // The advanced LRU clock must leave both caches evicting the
+        // same victim next.
+        assert_eq!(a.insert(2), b.insert(2));
     }
 }

@@ -135,6 +135,14 @@ impl Tlb {
         }
     }
 
+    fn l1_ref(&self, size: PageSize) -> &SetAssoc {
+        match size {
+            PageSize::Size4K => &self.l1_4k,
+            PageSize::Size2M => &self.l1_2m,
+            PageSize::Size1G => &self.l1_1g,
+        }
+    }
+
     /// The tag mixed into every key for the current address space.
     fn tag(&self) -> u64 {
         (self.asid as u64) << ASID_SHIFT
@@ -231,6 +239,55 @@ impl Tlb {
         }
         self.stats.misses += 1;
         None
+    }
+
+    /// Probe every page size without touching LRU state or counters —
+    /// the read-only twin of [`lookup_any`](Self::lookup_any). The
+    /// batched engine uses it to classify a block's accesses up front,
+    /// then replays the stateful lookups in scalar order.
+    pub fn probe_any(&self, va: VirtAddr) -> bool {
+        for size in [PageSize::Size1G, PageSize::Size2M, PageSize::Size4K] {
+            if self.l1_ref(size).contains(self.l1_key(va, size)) {
+                return true;
+            }
+        }
+        for size in [PageSize::Size1G, PageSize::Size2M, PageSize::Size4K] {
+            if self.stlb.contains(self.stlb_key(va, size)) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Hint the host CPU to pull the set storage every probe of `va`
+    /// would touch (all page sizes, both levels) into its own caches.
+    /// Pure hardware hint — no simulated state, LRU, or counter
+    /// changes. The batched engine issues this a few elements ahead of
+    /// its scan loop, overlapping host cache misses the scalar engine
+    /// pays serially.
+    #[inline]
+    pub fn prefetch(&self, va: VirtAddr) {
+        for size in [PageSize::Size1G, PageSize::Size2M, PageSize::Size4K] {
+            self.l1_ref(size).prefetch(self.l1_key(va, size));
+            self.stlb.prefetch(self.stlb_key(va, size));
+        }
+    }
+
+    /// Account a full-miss [`lookup_any`](Self::lookup_any) whose
+    /// absence was already proven via [`probe_any`](Self::probe_any):
+    /// each per-size array takes exactly the LRU-clock advance and
+    /// miss count a failed probe sequence charges, without rescanning
+    /// the sets.
+    pub fn record_miss(&mut self, va: VirtAddr) {
+        debug_assert!(!self.probe_any(va), "record_miss on a resident VA");
+        let _ = va;
+        self.l1_1g.record_miss();
+        self.l1_2m.record_miss();
+        self.l1_4k.record_miss();
+        for _ in 0..3 {
+            self.stlb.record_miss();
+        }
+        self.stats.misses += 1;
     }
 
     /// Install a translation after a completed page walk.
@@ -485,5 +542,55 @@ mod tests {
         let plain = t.entries();
         assert!(plain.contains(&(VirtAddr(0x1000), PageSize::Size4K)));
         assert!(plain.contains(&(VirtAddr(0x2000), PageSize::Size4K)));
+    }
+
+    #[test]
+    fn probe_any_is_read_only_and_tag_aware() {
+        let mut t = Tlb::new(TlbConfig::tiny());
+        t.fill(VirtAddr(0x1000), PageSize::Size4K);
+        let stats_before = t.stats();
+        assert!(t.probe_any(VirtAddr(0x1000)));
+        assert!(t.probe_any(VirtAddr(0x1fff)), "same 4K page");
+        assert!(!t.probe_any(VirtAddr(0x2000)));
+        assert_eq!(t.stats(), stats_before, "probe_any must not count");
+        // A resident entry of another address space is invisible.
+        t.set_asid(7);
+        assert!(!t.probe_any(VirtAddr(0x1000)));
+        // And the stateful lookup agrees with the probe either way.
+        assert!(t.lookup_any(VirtAddr(0x1000)).is_none());
+        t.set_asid(0);
+        assert!(t.lookup_any(VirtAddr(0x1000)).is_some());
+    }
+
+    #[test]
+    fn record_miss_matches_a_failed_lookup_any() {
+        // Drive two TLBs through the same fill history, then take the
+        // miss through `lookup_any` on one and through the proven-
+        // absent `record_miss` on the other: stats and every future
+        // eviction decision must be identical.
+        let mut a = Tlb::new(TlbConfig::tiny());
+        let mut b = Tlb::new(TlbConfig::tiny());
+        for t in [&mut a, &mut b] {
+            for i in 0..4u64 {
+                t.fill(VirtAddr(i * 4096), PageSize::Size4K);
+            }
+        }
+        let missing = VirtAddr(0x40_0000);
+        assert!(a.lookup_any(missing).is_none());
+        assert!(!b.probe_any(missing));
+        b.record_miss(missing);
+        assert_eq!(a.stats(), b.stats());
+        // The LRU clocks advanced identically: filling a conflicting
+        // set evicts the same victims on both sides.
+        for t in [&mut a, &mut b] {
+            for i in 4..12u64 {
+                t.fill(VirtAddr(i * 4096), PageSize::Size4K);
+            }
+        }
+        assert_eq!(a.entries_tagged(), b.entries_tagged());
+        for i in 0..12u64 {
+            let va = VirtAddr(i * 4096);
+            assert_eq!(a.probe_any(va), b.probe_any(va), "page {i}");
+        }
     }
 }

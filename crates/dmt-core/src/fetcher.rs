@@ -392,6 +392,124 @@ pub fn fetch_nested_pv<M: MemoryOps>(
     )
 }
 
+/// A completed fetch without the step-trace `Vec` —
+/// [`fetch_native_lean`]'s return shape.
+#[derive(Debug, Clone, Copy)]
+pub struct LeanFetch {
+    /// Final (host) physical address.
+    pub pa: PhysAddr,
+    /// Innermost page size (what the TLB fills with).
+    pub size: PageSize,
+    /// Cycles charged by the slot accesses.
+    pub cycles: u64,
+    /// Number of sequential memory references.
+    pub refs: u64,
+}
+
+/// What [`resolve_native`] found for one VA: the pure memory half of a
+/// register-file fetch, with the cache charge left to the caller.
+#[derive(Debug, Clone, Copy)]
+pub enum Resolve {
+    /// A present PTE was found (and its accessed bit set): the winning
+    /// slot, its content, and the mapping's page size.
+    Hit {
+        /// Physical address of the winning PTE slot.
+        slot: PhysAddr,
+        /// The winning PTE (pre-accessed-bit value).
+        pte: Pte,
+        /// Page size of the winning mapping.
+        size: PageSize,
+    },
+    /// No register covers the VA (hardware-walker fallback).
+    NotCovered,
+    /// Covered, but no candidate PTE is present. Carries the first
+    /// candidate's slot so the caller can charge the probe the scalar
+    /// fetcher would have issued before faulting.
+    NotPresent {
+        /// Slot of the first candidate in register order.
+        first_slot: PhysAddr,
+    },
+}
+
+/// The pure register-file + physical-memory half of a native fetch: no
+/// cache charges, no allocations. The winner is whatever present
+/// candidate has the largest page size, so the probe walks candidates
+/// largest-first and stops at the first present PTE — skipped
+/// candidate reads are uncharged and side-effect-free in
+/// [`parallel_probe`] too, so nothing observable is lost. The winning
+/// PTE's read and accessed-bit write share one fused
+/// [`MemoryOps::rmw_word`] lookup.
+///
+/// Splitting the memory work from the charge lets the batched backend
+/// resolve a whole run in one tight loop (successive page-map lookups
+/// overlap in the pipeline) before issuing the element-ordered cache
+/// charges — see `NativeDmt::translate_batch` in `dmt-sim`.
+pub fn resolve_native<M: MemoryOps>(regs: &DmtRegisterFile, pm: &mut M, va: VirtAddr) -> Resolve {
+    // At most one covering mapping per page size (Figure 12's parallel
+    // comparators), ranked smallest-to-largest.
+    let mut by_size: [Option<(PhysAddr, PageSize)>; 3] = [None; 3];
+    let mut first_slot = None;
+    for m in regs.lookup(va) {
+        let slot = m.pte_addr(va).expect("lookup returned a covering mapping");
+        if first_slot.is_none() {
+            first_slot = Some(slot);
+        }
+        by_size[m.page_size() as usize] = Some((slot, m.page_size()));
+    }
+    let Some(first_slot) = first_slot else {
+        return Resolve::NotCovered;
+    };
+    for (slot, size) in by_size.iter().rev().flatten() {
+        let mut pte = Pte::EMPTY;
+        pm.rmw_word(*slot, |w| {
+            pte = Pte(w);
+            pte.present().then(|| pte.with_accessed().raw())
+        });
+        if pte.present() {
+            return Resolve::Hit {
+                slot: *slot,
+                pte,
+                size: *size,
+            };
+        }
+    }
+    Resolve::NotPresent { first_slot }
+}
+
+/// [`fetch_native`] without the per-call allocations:
+/// [`resolve_native`] for the memory half plus the same single `hier`
+/// charge [`parallel_probe`] would issue, so results are bit-identical
+/// to [`fetch_native`]. The batched backend's hot path.
+///
+/// # Errors
+///
+/// See [`fetch_native`].
+pub fn fetch_native_lean<M: MemoryOps>(
+    regs: &DmtRegisterFile,
+    pm: &mut M,
+    hier: &mut MemoryHierarchy,
+    va: VirtAddr,
+) -> Result<LeanFetch, DmtError> {
+    match resolve_native(regs, pm, va) {
+        Resolve::Hit { slot, pte, size } => {
+            let (_, cycles) = hier.access(slot.raw());
+            Ok(LeanFetch {
+                pa: PhysAddr(pte.phys_addr().raw() + va.offset_in(size)),
+                size,
+                cycles,
+                refs: 1,
+            })
+        }
+        Resolve::NotCovered => Err(DmtError::NotCovered { addr: va.raw() }),
+        Resolve::NotPresent { first_slot } => {
+            // No candidate present: charge the first probe's slot
+            // access like the scalar fetcher, then fault.
+            hier.access(first_slot.raw());
+            Err(DmtError::PteNotPresent { addr: va.raw() })
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -644,5 +762,39 @@ mod tests {
             stages,
             vec![FetchStage::Guest, FetchStage::Middle, FetchStage::Host]
         );
+    }
+
+    #[test]
+    fn lean_fetch_matches_the_allocating_fetcher() {
+        // Two identical machines: one through the full fetcher, one
+        // through the lean path. Charged cycles, the hierarchy end
+        // state, PA, and size must all agree.
+        let (mut pm_a, regs_a, _) = native_setup(0x40_0000, 64);
+        let (mut pm_b, regs_b, _) = native_setup(0x40_0000, 64);
+        let mut hier_a = MemoryHierarchy::default();
+        let mut hier_b = MemoryHierarchy::default();
+        let vas = [
+            VirtAddr(0x40_0000 + 5 * 4096 + 7),
+            VirtAddr(0x40_0000 + 9 * 4096),
+            VirtAddr(0x40_0000 + 5 * 4096 + 99), // same page, new offset
+        ];
+        for va in vas {
+            let a = fetch_native(&regs_a, &mut pm_a, &mut hier_a, va).unwrap();
+            let b = fetch_native_lean(&regs_b, &mut pm_b, &mut hier_b, va).unwrap();
+            assert_eq!((a.pa, a.size, a.cycles, a.refs()), (b.pa, b.size, b.cycles, b.refs));
+        }
+        assert_eq!(hier_a.stats(), hier_b.stats());
+        assert!(matches!(
+            fetch_native_lean(&regs_b, &mut pm_b, &mut hier_b, VirtAddr(0x8000_0000)),
+            Err(DmtError::NotCovered { .. })
+        ));
+        // Not-present inside a covered span still charges the discovery
+        // probe, like the allocating path.
+        let before = hier_b.stats().total();
+        assert!(matches!(
+            fetch_native_lean(&regs_b, &mut pm_b, &mut hier_b, VirtAddr(0x40_0000 + 100 * 4096)),
+            Err(DmtError::PteNotPresent { .. })
+        ));
+        assert_eq!(hier_b.stats().total(), before + 1);
     }
 }

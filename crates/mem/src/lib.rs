@@ -25,10 +25,12 @@ pub mod addr;
 pub mod buddy;
 pub mod compact;
 pub mod frag;
+pub mod hash;
 pub mod phys;
 
 pub use addr::{PageSize, Pfn, PhysAddr, VirtAddr, Vpn};
 pub use buddy::{BuddyAllocator, FrameKind, FrameState};
+pub use hash::{FastMap, FastSet};
 pub use phys::{MemoryOps, PhysMemory};
 
 use core::fmt;

@@ -24,6 +24,20 @@ pub trait MemoryOps {
     fn read_word(&self, addr: PhysAddr) -> u64;
     /// Write the 8-byte word at `addr` (must be 8-byte aligned).
     fn write_word(&mut self, addr: PhysAddr, value: u64);
+    /// Read the word at `addr` and, if the closure returns a new value,
+    /// write it back. Implementations may fuse the two into a single
+    /// page lookup; the provided default composes [`MemoryOps::read_word`]
+    /// and [`MemoryOps::write_word`]. Returns the value read.
+    fn rmw_word(&mut self, addr: PhysAddr, f: impl FnOnce(u64) -> Option<u64>) -> u64
+    where
+        Self: Sized,
+    {
+        let old = self.read_word(addr);
+        if let Some(new) = f(old) {
+            self.write_word(addr, new);
+        }
+        old
+    }
     /// Allocate one zeroed frame for the given purpose.
     ///
     /// # Errors
@@ -46,6 +60,9 @@ impl MemoryOps for PhysMemory {
     }
     fn write_word(&mut self, addr: PhysAddr, value: u64) {
         PhysMemory::write_word(self, addr, value)
+    }
+    fn rmw_word(&mut self, addr: PhysAddr, f: impl FnOnce(u64) -> Option<u64>) -> u64 {
+        PhysMemory::rmw_word(self, addr, f)
     }
     fn alloc_zeroed_frame(&mut self, kind: FrameKind) -> Result<Pfn> {
         PhysMemory::alloc_zeroed_frame(self, kind)
@@ -186,6 +203,37 @@ impl PhysMemory {
         self.words
             .entry(pfn)
             .or_insert_with(|| Box::new([0u64; ENTRIES_PER_TABLE as usize]))[idx] = value;
+    }
+
+    /// Fused read-modify-write: one page lookup serves both the read
+    /// and (when the closure asks for it) the write-back — half the
+    /// hashing of a `read_word` + `write_word` pair on the same slot.
+    /// Returns the value read; unwritten words read as zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 8-byte aligned.
+    pub fn rmw_word(&mut self, addr: PhysAddr, f: impl FnOnce(u64) -> Option<u64>) -> u64 {
+        assert_eq!(addr.0 % 8, 0, "unaligned word rmw at {addr}");
+        let pfn = addr.pfn().0;
+        let idx = (addr.page_offset() / 8) as usize;
+        match self.words.get_mut(&pfn) {
+            Some(w) => {
+                let old = w[idx];
+                if let Some(new) = f(old) {
+                    w[idx] = new;
+                }
+                old
+            }
+            None => {
+                if let Some(new) = f(0) {
+                    self.words
+                        .entry(pfn)
+                        .or_insert_with(|| Box::new([0u64; ENTRIES_PER_TABLE as usize]))[idx] = new;
+                }
+                0
+            }
+        }
     }
 
     /// Zero a frame's contents (e.g. when recycling a guest frame whose

@@ -142,6 +142,120 @@ pub fn walk_dimension<M: MemoryOps>(
     }
 }
 
+/// A memo of traversed PTE words (post-`accessed`) keyed by slot PA,
+/// for [`walk_dimension_cached`]. Only valid while the page tables are
+/// quiescent — replay never remaps — so owners must drop it on any
+/// teardown or remap.
+#[derive(Debug, Clone, Default)]
+pub struct PteMemo {
+    words: dmt_mem::FastMap<u64, u64>,
+}
+
+impl PteMemo {
+    /// Forget every memoized entry (tables changed).
+    pub fn clear(&mut self) {
+        self.words.clear();
+    }
+}
+
+/// A completed walk without the per-step trace allocation —
+/// [`walk_dimension_cached`]'s return shape.
+#[derive(Debug, Clone, Copy)]
+pub struct LeanWalk {
+    /// Translated physical address.
+    pub pa: PhysAddr,
+    /// Page size of the final mapping.
+    pub size: PageSize,
+    /// Total cycles, including PWC lookup latency.
+    pub cycles: u64,
+    /// Sequential memory references (PTE fetches).
+    pub refs: u64,
+}
+
+/// [`walk_dimension`] with the physical-memory word traffic memoized:
+/// every *observable* operation — the PWC latency charge, lookup and
+/// fills, and each per-slot `hier.access` — is issued exactly as the
+/// uncached walker would, but a slot visited before skips the
+/// `PhysMemory` word read and the (idempotent) accessed-bit write, and
+/// no per-step `Vec` is allocated. The batched backends use this on
+/// their fallback/vanilla walk paths; results are bit-identical to
+/// [`walk_dimension`] by construction.
+///
+/// Non-present entries are *not* memoized (a later map could make them
+/// present).
+///
+/// # Errors
+///
+/// Returns [`PtError::NotMapped`] if a non-present entry is reached.
+pub fn walk_dimension_cached<M: MemoryOps>(
+    pt: &RadixPageTable,
+    pm: &mut M,
+    va: VirtAddr,
+    hier: &mut MemoryHierarchy,
+    mut pwc: Option<&mut PageWalkCache>,
+    memo: &mut PteMemo,
+) -> Result<LeanWalk, PtError> {
+    let mut cycles = 0u64;
+    let mut level = pt.levels();
+    let mut table = PhysAddr::from_pfn(pt.root());
+
+    if let Some(p) = pwc.as_deref_mut() {
+        cycles += p.latency();
+        if let Some((hit_level, next_table)) = p.lookup_deepest(va) {
+            level = hit_level - 1;
+            table = next_table;
+        }
+    }
+
+    let mut refs = 0u64;
+    loop {
+        let slot = table + va.level_index(level) * PTE_SIZE;
+        let (_, cyc) = hier.access(slot.raw());
+        cycles += cyc;
+        refs += 1;
+        let pte = if let Some(&word) = memo.words.get(&slot.raw()) {
+            Pte(word)
+        } else {
+            let pte = Pte(pm.read_word(slot));
+            if !pte.present() {
+                return Err(PtError::NotMapped { va: va.raw() });
+            }
+            let pte = pte.with_accessed();
+            pm.write_word(slot, pte.raw());
+            // Memoize interior entries only: they are shared across
+            // many VAs (high hit rate, bounded map), while leaves are
+            // per-page — memoizing those would grow the map by one
+            // entry per touched page for a near-zero hit rate on
+            // big-footprint workloads.
+            if !pte.is_leaf_at(level) {
+                memo.words.insert(slot.raw(), pte.raw());
+            }
+            pte
+        };
+        if pte.is_leaf_at(level) {
+            let size = match level {
+                1 => PageSize::Size4K,
+                2 => PageSize::Size2M,
+                3 => PageSize::Size1G,
+                _ => return Err(PtError::NotMapped { va: va.raw() }),
+            };
+            return Ok(LeanWalk {
+                pa: PhysAddr(pte.phys_addr().raw() + va.offset_in(size)),
+                size,
+                cycles,
+                refs,
+            });
+        }
+        if let Some(p) = pwc.as_deref_mut() {
+            if (2..=4).contains(&level) {
+                p.fill(va, level, pte.phys_addr());
+            }
+        }
+        table = pte.phys_addr();
+        level -= 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,6 +355,50 @@ mod tests {
             &mut hier,
             None,
         );
+        assert!(matches!(err, Err(PtError::NotMapped { .. })));
+    }
+
+    #[test]
+    fn cached_walk_is_bit_identical_to_the_uncached_walker() {
+        // Two identical machines, interleaved mappings: every access
+        // must produce the same (pa, size, cycles, refs) and leave the
+        // PWC stats identical, memo warm or cold.
+        let mk = || {
+            let mut pm = PhysMemory::new_bytes(32 << 20);
+            let mut pt = RadixPageTable::new(&mut pm, 4).unwrap();
+            pt.map(&mut pm, VirtAddr(0x10_0000), PhysAddr(0x5000), PageSize::Size4K, PteFlags::WRITABLE)
+                .unwrap();
+            pt.map(&mut pm, VirtAddr(0x4000_0000), PhysAddr(0x20_0000), PageSize::Size2M, PteFlags::WRITABLE)
+                .unwrap();
+            (pm, pt)
+        };
+        let (mut pm_a, pt_a) = mk();
+        let (mut pm_b, pt_b) = mk();
+        let mut hier_a = MemoryHierarchy::default();
+        let mut hier_b = MemoryHierarchy::default();
+        let mut pwc_a = PageWalkCache::new(PwcConfig::xeon_gold_6138());
+        let mut pwc_b = PageWalkCache::new(PwcConfig::xeon_gold_6138());
+        let mut memo = PteMemo::default();
+        let vas = [
+            VirtAddr(0x10_0000),
+            VirtAddr(0x4000_1234),
+            VirtAddr(0x10_0000), // memo-warm revisits
+            VirtAddr(0x4000_9999),
+        ];
+        for va in vas {
+            let a = walk_dimension(&pt_a, &mut pm_a, va, WalkDim::Native, &mut hier_a, Some(&mut pwc_a))
+                .unwrap();
+            let b = walk_dimension_cached(&pt_b, &mut pm_b, va, &mut hier_b, Some(&mut pwc_b), &mut memo)
+                .unwrap();
+            assert_eq!((a.pa, a.size, a.cycles, a.refs()), (b.pa, b.size, b.cycles, b.refs), "{va:?}");
+        }
+        assert_eq!(pwc_a.stats(), pwc_b.stats());
+        assert_eq!(hier_a.stats(), hier_b.stats());
+        // The cached walker still set the accessed bits on first visit.
+        let leaf = pt_b.entry(&pm_b, VirtAddr(0x10_0000), 1).unwrap();
+        assert!(leaf.flags().contains(PteFlags::ACCESSED));
+        // And it refuses unmapped addresses without memoizing them.
+        let err = walk_dimension_cached(&pt_b, &mut pm_b, VirtAddr(0x9999_0000), &mut hier_b, None, &mut memo);
         assert!(matches!(err, Err(PtError::NotMapped { .. })));
     }
 

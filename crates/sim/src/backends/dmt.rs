@@ -2,16 +2,26 @@
 //! mappings, falling back to the hardware walker for uncovered VAs.
 //! Natively pvDMT is identical to DMT, so [`pvdmt`](super::pvdmt)
 //! reuses [`build_native`] verbatim.
+//!
+//! Both backends override `translate_batch` with allocation-free fast
+//! paths: the native fetch goes through
+//! [`fetch_native_lean`](fetcher::fetch_native_lean) (no candidate or
+//! step-trace `Vec`s) and the data access reuses the translation's own
+//! physical address instead of re-deriving it through the software
+//! radix walk — while issuing the identical `hier` charge sequence, so
+//! outcomes and counters stay bit-identical to the scalar path
+//! (DESIGN.md §13).
 
 use super::{NativeMachine, NativeTranslator, VirtTranslator};
 use crate::error::SimError;
 use crate::registry::{Arena, NativeSpec, Registration, VirtSpec};
-use crate::rig::{Design, Setup, Translation};
+use crate::rig::{pte_delta, Design, Outcome, Setup, Translation};
 use dmt_cache::hierarchy::MemoryHierarchy;
 use dmt_core::{fetcher, DmtError};
-use dmt_mem::VirtAddr;
+use dmt_mem::{PhysAddr, VirtAddr};
 use dmt_pgtable::walk::{walk_dimension, WalkDim};
 use dmt_virt::machine::{GuestTeaMode, VirtMachine};
+use dmt_workloads::gen::Access;
 
 pub(crate) const REGISTRATION: Registration = Registration {
     design: Design::Dmt,
@@ -34,11 +44,7 @@ pub(crate) fn build_native(
     _m: &mut NativeMachine,
     _setup: &Setup,
 ) -> Result<Box<dyn NativeTranslator>, SimError> {
-    Ok(Box::new(NativeDmt {
-        fetch_hits: 0,
-        fallbacks: 0,
-        fallback_pwc: true,
-    }))
+    Ok(Box::new(NativeDmt::new(true)))
 }
 
 /// The DESIGN.md §11 worked example: a DMT variant whose fallback walks
@@ -51,11 +57,7 @@ pub fn build_native_no_fallback_pwc(
     _m: &mut NativeMachine,
     _setup: &Setup,
 ) -> Result<Box<dyn NativeTranslator>, SimError> {
-    Ok(Box::new(NativeDmt {
-        fetch_hits: 0,
-        fallbacks: 0,
-        fallback_pwc: false,
-    }))
+    Ok(Box::new(NativeDmt::new(false)))
 }
 
 fn build_virt(
@@ -85,6 +87,43 @@ struct NativeDmt {
     /// Whether fallback walks get the PWC (false only in the
     /// no-fallback-PWC ablation).
     fallback_pwc: bool,
+    /// Reusable per-run scratch for the batched path's resolve phase.
+    resolved: Vec<fetcher::Resolve>,
+}
+
+impl NativeDmt {
+    fn new(fallback_pwc: bool) -> Self {
+        NativeDmt {
+            fetch_hits: 0,
+            fallbacks: 0,
+            fallback_pwc,
+            resolved: Vec::new(),
+        }
+    }
+
+    /// The fallback radix walk, shared by the scalar and batched paths.
+    fn fallback_walk(
+        &mut self,
+        m: &mut NativeMachine,
+        va: VirtAddr,
+        hier: &mut MemoryHierarchy,
+    ) -> Translation {
+        self.fallbacks += 1;
+        let pwc = if self.fallback_pwc {
+            Some(&mut m.pwc)
+        } else {
+            None
+        };
+        let out = walk_dimension(m.proc_.page_table(), &mut m.pm, va, WalkDim::Native, hier, pwc)
+            .expect("populated");
+        Translation {
+            pa: out.pa,
+            size: out.size,
+            cycles: out.cycles,
+            refs: out.refs(),
+            fallback: true,
+        }
+    }
 }
 
 impl NativeTranslator for NativeDmt {
@@ -105,32 +144,88 @@ impl NativeTranslator for NativeDmt {
                     fallback: false,
                 }
             }
-            Err(DmtError::NotCovered { .. }) => {
-                self.fallbacks += 1;
-                let pwc = if self.fallback_pwc {
-                    Some(&mut m.pwc)
-                } else {
-                    None
-                };
-                let out = walk_dimension(
-                    m.proc_.page_table(),
-                    &mut m.pm,
-                    va,
-                    WalkDim::Native,
-                    hier,
-                    pwc,
-                )
-                .expect("populated");
-                Translation {
-                    pa: out.pa,
-                    size: out.size,
-                    cycles: out.cycles,
-                    refs: out.refs(),
-                    fallback: true,
-                }
-            }
+            Err(DmtError::NotCovered { .. }) => self.fallback_walk(m, va, hier),
             Err(e) => panic!("DMT fetch failed unexpectedly: {e}"),
         }
+    }
+
+    fn translate_batch(
+        &mut self,
+        m: &mut NativeMachine,
+        accesses: &[Access],
+        hier: &mut MemoryHierarchy,
+        out: &mut [Outcome],
+    ) {
+        // The run is processed in two phases per chunk.
+        //
+        // Phase 1 resolves a chunk through the register file and page
+        // map in one tight loop with no cache charges in between.
+        // Page-map reads are uncharged and the accessed-bit writes are
+        // idempotent and uncounted, so hoisting them ahead of the
+        // element-ordered `hier` charges changes nothing observable —
+        // while letting successive hash-map lookups overlap in the
+        // pipeline instead of serializing against cache-model scans.
+        // Since the resolve already yields the PTE slot and the data
+        // PA, phase 1 also prefetches the host cache lines backing
+        // each level's sets for both addresses — work the scalar path
+        // must serialize because it only learns each address mid-chain.
+        //
+        // Phase 2 issues cache charges and outcomes in element order —
+        // the per-structure op sequences are exactly the scalar
+        // path's. Chunking keeps the prefetched footprint inside the
+        // host caches between the two phases.
+        const CHUNK: usize = 16;
+        let mut resolved = std::mem::take(&mut self.resolved);
+        for (accesses, out) in accesses.chunks(CHUNK).zip(out.chunks_mut(CHUNK)) {
+            resolved.clear();
+            for a in accesses {
+                let r = fetcher::resolve_native(&m.regs, &mut m.pm, a.va);
+                if let fetcher::Resolve::Hit { slot, pte, size } = r {
+                    hier.prefetch(slot.raw());
+                    hier.prefetch(pte.phys_addr().raw() + a.va.offset_in(size));
+                }
+                resolved.push(r);
+            }
+            for ((a, o), r) in accesses.iter().zip(out.iter_mut()).zip(resolved.iter()) {
+                let tr = match *r {
+                    fetcher::Resolve::Hit { slot, pte, size } => {
+                        self.fetch_hits += 1;
+                        // The fetch's only charge is this one slot
+                        // access, so the PTE-charge vector is one-hot
+                        // at its hit level — no stats diff needed.
+                        let (level, cycles) = hier.access(slot.raw());
+                        o.pte = [0; 4];
+                        o.pte[level as usize] = 1;
+                        Translation {
+                            pa: PhysAddr(pte.phys_addr().raw() + a.va.offset_in(size)),
+                            size,
+                            cycles,
+                            refs: 1,
+                            fallback: false,
+                        }
+                    }
+                    fetcher::Resolve::NotCovered => {
+                        let before = hier.stats();
+                        let tr = self.fallback_walk(m, a.va, hier);
+                        o.pte = pte_delta(before, hier.stats());
+                        tr
+                    }
+                    fetcher::Resolve::NotPresent { .. } => {
+                        panic!(
+                            "DMT fetch failed unexpectedly: PTE not present at {:#x}",
+                            a.va.raw()
+                        )
+                    }
+                };
+                // The translation *is* the data mapping: reuse its PA
+                // instead of scalar's redundant software radix walk.
+                let (level, cycles) = hier.access(tr.pa.raw());
+                o.tr = tr;
+                o.data_level = level;
+                o.data_cycles = cycles;
+            }
+        }
+        self.resolved = resolved;
     }
 
     fn coverage(&self) -> f64 {
@@ -145,8 +240,8 @@ struct VirtDmt {
     fallbacks: u64,
 }
 
-impl VirtTranslator for VirtDmt {
-    fn translate(
+impl VirtDmt {
+    fn translate_one(
         &mut self,
         m: &mut VirtMachine,
         va: VirtAddr,
@@ -175,6 +270,39 @@ impl VirtTranslator for VirtDmt {
                 }
             }
             Err(e) => panic!("DMT fetch failed: {e}"),
+        }
+    }
+}
+
+impl VirtTranslator for VirtDmt {
+    fn translate(
+        &mut self,
+        m: &mut VirtMachine,
+        va: VirtAddr,
+        hier: &mut MemoryHierarchy,
+    ) -> Translation {
+        self.translate_one(m, va, hier)
+    }
+
+    fn translate_batch(
+        &mut self,
+        m: &mut VirtMachine,
+        accesses: &[Access],
+        hier: &mut MemoryHierarchy,
+        out: &mut [Outcome],
+    ) {
+        // The unparavirtualized fetch allocates internally either way;
+        // the batched win here is reusing the translated host PA for
+        // the data access instead of scalar's full 2D software
+        // translation per element.
+        for (a, o) in accesses.iter().zip(out.iter_mut()) {
+            let before = hier.stats();
+            let tr = self.translate_one(m, a.va, hier);
+            o.pte = pte_delta(before, hier.stats());
+            let (level, cycles) = hier.access(tr.pa.raw());
+            o.tr = tr;
+            o.data_level = level;
+            o.data_cycles = cycles;
         }
     }
 

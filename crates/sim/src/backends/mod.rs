@@ -27,7 +27,7 @@ pub mod shadow;
 pub mod vanilla;
 
 use crate::error::SimError;
-use crate::rig::{RefEntry, Setup, Translation};
+use crate::rig::{pte_delta, Outcome, RefEntry, Setup, Translation};
 use dmt_cache::hierarchy::MemoryHierarchy;
 use dmt_cache::pwc::PageWalkCache;
 use dmt_core::regfile::DmtRegisterFile;
@@ -39,6 +39,25 @@ use dmt_pgtable::pte::PteFlags;
 use dmt_telemetry::ComponentCounters;
 use dmt_virt::machine::VirtMachine;
 use dmt_virt::nested::NestedMachine;
+use dmt_workloads::gen::Access;
+
+/// Shared body of the per-trait `translate_batch` defaults: per
+/// element, diff the hierarchy around the scalar translate and charge
+/// the data access — exactly the op sequence the scalar engine issues.
+macro_rules! scalar_batch {
+    ($self:ident, $m:ident, $accesses:ident, $hier:ident, $out:ident, $data_pa:expr) => {
+        for (a, o) in $accesses.iter().zip($out.iter_mut()) {
+            let before = $hier.stats();
+            let tr = $self.translate($m, a.va, $hier);
+            o.pte = pte_delta(before, $hier.stats());
+            o.tr = tr;
+            let pa: PhysAddr = $data_pa(a.va);
+            let (level, cycles) = $hier.access(pa.raw());
+            o.data_level = level;
+            o.data_cycles = cycles;
+        }
+    };
+}
 
 /// The machine state a native rig owns, independent of the design under
 /// test: physical memory, the process (VMAs, radix tables, TEAs), the
@@ -275,6 +294,24 @@ pub trait NativeTranslator {
         hier: &mut MemoryHierarchy,
     ) -> Translation;
 
+    /// Batched translate over a run of TLB-missing accesses: for each
+    /// element, the walk *and* the subsequent data access are charged
+    /// to `hier` in scalar order, with the per-level PTE attribution
+    /// recorded in `out` (see [`Rig::translate_batch`]'s contract,
+    /// DESIGN.md §13). The default loops the scalar path; vanilla and
+    /// DMT override it with memoized fast paths.
+    ///
+    /// [`Rig::translate_batch`]: crate::rig::Rig::translate_batch
+    fn translate_batch(
+        &mut self,
+        m: &mut NativeMachine,
+        accesses: &[Access],
+        hier: &mut MemoryHierarchy,
+        out: &mut [Outcome],
+    ) {
+        scalar_batch!(self, m, accesses, hier, out, |va| m.data_pa(va));
+    }
+
     /// Reference entry for the differential oracle. Defaults to the
     /// machine's radix ground truth.
     fn ref_translate(&self, m: &NativeMachine, va: VirtAddr) -> Option<RefEntry> {
@@ -304,6 +341,20 @@ pub trait VirtTranslator {
         hier: &mut MemoryHierarchy,
     ) -> Translation;
 
+    /// Batched translate over a run of TLB-missing accesses; same
+    /// contract as [`NativeTranslator::translate_batch`].
+    fn translate_batch(
+        &mut self,
+        m: &mut VirtMachine,
+        accesses: &[Access],
+        hier: &mut MemoryHierarchy,
+        out: &mut [Outcome],
+    ) {
+        scalar_batch!(self, m, accesses, hier, out, |va: VirtAddr| m
+            .translate_software(va)
+            .expect("engine accesses populated pages"));
+    }
+
     /// Reference entry for the differential oracle. Defaults to the 2D
     /// software path ([`virt_ref_entry`]).
     fn ref_translate(&self, m: &VirtMachine, va: VirtAddr) -> Option<RefEntry> {
@@ -331,6 +382,20 @@ pub trait NestedTranslator {
         va: VirtAddr,
         hier: &mut MemoryHierarchy,
     ) -> Translation;
+
+    /// Batched translate over a run of TLB-missing accesses; same
+    /// contract as [`NativeTranslator::translate_batch`].
+    fn translate_batch(
+        &mut self,
+        m: &mut NestedMachine,
+        accesses: &[Access],
+        hier: &mut MemoryHierarchy,
+        out: &mut [Outcome],
+    ) {
+        scalar_batch!(self, m, accesses, hier, out, |va: VirtAddr| m
+            .translate_software(va)
+            .expect("engine accesses populated pages"));
+    }
 
     /// Reference entry for the differential oracle. Defaults to the
     /// cascaded software path ([`nested_ref_entry`]).

@@ -45,7 +45,7 @@ mod tenant;
 pub use config::{ChurnConfig, NodeConfig, Tagging, TenantSpec};
 pub use stats::{NodeStats, TenantStats};
 
-use crate::engine::step_access;
+use crate::engine::{run_block, step_access, BLOCK_SIZE};
 use crate::error::SimError;
 use crate::runner::Runner;
 use dmt_cache::hierarchy::MemoryHierarchy;
@@ -207,20 +207,53 @@ fn run_node_probed<P: Probe>(
             active = Some(i);
         }
 
-        // Run the quantum through the shared engine step.
+        // Run the quantum through the shared engine: the scalar step or
+        // the batched block path (chunks aligned to absolute trace
+        // position, so a one-tenant node cuts its quanta at the same
+        // block boundaries as the single-rig engine — bit-identity by
+        // construction either way).
         let t = &mut tenants[i];
-        for _ in 0..len {
-            let a = t.trace[t.pos];
-            let measured = t.pos >= warmup;
-            t.pos += 1;
-            step_access(t.rig.as_mut(), &a, measured, &mut tlb, &mut hier, &mut t.stats, probe);
-            if measured {
-                node_accesses += 1;
-                if P::ACTIVE && sample_every > 0 && node_accesses.is_multiple_of(sample_every) {
-                    if let Some((frag, rss)) = t.rig.frag_sample() {
-                        probe.sample(node_accesses, frag, rss);
+        if runner.scalar {
+            for _ in 0..len {
+                let a = t.trace[t.pos];
+                let measured = t.pos >= warmup;
+                t.pos += 1;
+                step_access(t.rig.as_mut(), &a, measured, &mut tlb, &mut hier, &mut t.stats, probe);
+                if measured {
+                    node_accesses += 1;
+                    if P::ACTIVE && sample_every > 0 && node_accesses.is_multiple_of(sample_every) {
+                        if let Some((frag, rss)) = t.rig.frag_sample() {
+                            probe.sample(node_accesses, frag, rss);
+                        }
                     }
                 }
+            }
+        } else {
+            let mut done = 0;
+            while done < len {
+                let chunk = (len - done).min(BLOCK_SIZE - (t.pos % BLOCK_SIZE));
+                let start = t.pos;
+                t.pos += chunk;
+                run_block(
+                    t.rig.as_mut(),
+                    &t.trace[start..start + chunk],
+                    warmup.saturating_sub(start),
+                    &mut tlb,
+                    &mut hier,
+                    &mut t.stats,
+                    probe,
+                    &mut t.block,
+                    |p, r, _| {
+                        node_accesses += 1;
+                        if P::ACTIVE && sample_every > 0 && node_accesses.is_multiple_of(sample_every)
+                        {
+                            if let Some((frag, rss)) = r.frag_sample() {
+                                p.sample(node_accesses, frag, rss);
+                            }
+                        }
+                    },
+                );
+                done += chunk;
             }
         }
         remaining[i] = t.trace.len() - t.pos;

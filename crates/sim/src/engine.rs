@@ -16,9 +16,10 @@
 //! simulation state transitions are identical either way, which
 //! `tests/determinism.rs` pins by comparing `RunStats` bit-for-bit.
 
-use crate::rig::Rig;
+use crate::rig::{Outcome, Rig};
 use dmt_cache::hierarchy::{HitLevel, MemoryHierarchy};
 use dmt_cache::tlb::{Tlb, TlbHit};
+use dmt_mem::FastSet;
 use dmt_telemetry::{MemLevel, Probe, TlbPath};
 use dmt_workloads::gen::Access;
 use std::borrow::Borrow;
@@ -100,6 +101,210 @@ fn mem_level(l: HitLevel) -> MemLevel {
     }
 }
 
+/// Accesses per engine block: the unit of the batched fast path.
+///
+/// Misses inside a block are accumulated into region-disjoint runs and
+/// handed to [`Rig::translate_batch`] in one call, so backends can hoist
+/// register-file and PWC lookup work across the run. 256 keeps the
+/// per-block scratch (outcomes, records, pending-region set) inside L1
+/// while amortizing the dispatch overhead; correctness never depends on
+/// the exact value, which `tests/batch_equivalence.rs` pins by sweeping
+/// traces whose length is not a multiple of it.
+pub(crate) const BLOCK_SIZE: usize = 256;
+
+/// What the block scan recorded for one element, in trace order.
+///
+/// The scan performs all *state* transitions (TLB probes/fills, cache
+/// charges) immediately; accounting is deferred to one reconciliation
+/// pass per block, which replays these records in element order with
+/// exactly the `measured`/`P::ACTIVE` gating of [`step_access`].
+enum Rec {
+    /// TLB hit: which path hit and what the data access cost.
+    Hit {
+        path: TlbPath,
+        level: HitLevel,
+        cycles: u64,
+    },
+    /// TLB miss: the outcome lives in `BlockState::outcomes` at the
+    /// same index.
+    Miss,
+}
+
+/// Reusable per-block scratch for [`run_block`], held by the caller
+/// (engine loop or a cloud-node tenant) so the allocations amortize
+/// across blocks. Holds no cross-block simulation state.
+#[derive(Default)]
+pub(crate) struct BlockState {
+    outcomes: Vec<Outcome>,
+    recs: Vec<Rec>,
+    pending_regions: FastSet<u64>,
+}
+
+/// Flush a pending miss run: one `translate_batch` over the slice, then
+/// the per-element TLB replay (miss charge + fill) in element order —
+/// the same per-component op sequence the scalar loop would have issued.
+fn flush_run(
+    rig: &mut dyn Rig,
+    block: &[Access],
+    range: std::ops::Range<usize>,
+    tlb: &mut Tlb,
+    hier: &mut MemoryHierarchy,
+    outcomes: &mut [Outcome],
+    region_shift: u32,
+) {
+    if range.is_empty() {
+        return;
+    }
+    let (s, e) = (range.start, range.end);
+    rig.translate_batch(&block[s..e], hier, &mut outcomes[s..e]);
+    for j in s..e {
+        let size = outcomes[j].tr.size;
+        debug_assert!(
+            size.shift() <= region_shift,
+            "a {}-bit fill exceeds the {}-bit pending-region granularity",
+            size.shift(),
+            region_shift
+        );
+        tlb.record_miss(block[j].va);
+        tlb.fill(block[j].va, size);
+    }
+}
+
+/// Run one block of accesses through the batched fast path.
+///
+/// Bit-identity contract (DESIGN.md §13): every state transition the
+/// scalar [`step_access`] loop would perform happens here in the same
+/// per-component order —
+///
+/// - misses accumulate into a *pending run* of region-disjoint VAs; a
+///   TLB probe hit or a region conflict flushes the run first (so a fill
+///   from an earlier miss can still produce the hit the scalar loop
+///   would have seen), then re-probes;
+/// - hit elements do their data access immediately (cache charges stay
+///   in trace order); miss elements' data accesses happen inside
+///   `translate_batch`, interleaved per element with the PTE fetches;
+/// - `measured`-gated accounting (RunStats + probe) is deferred to one
+///   reconciliation pass per block, replaying the recorded outcomes in
+///   element order; `on_measured` fires after each measured element with
+///   the running access count, mirroring the caller's per-access
+///   sampling hook.
+///
+/// `measured_from` is the block-local index of the first measured
+/// element (`warmup - block_base`, saturating).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_block<P: Probe>(
+    rig: &mut dyn Rig,
+    block: &[Access],
+    measured_from: usize,
+    tlb: &mut Tlb,
+    hier: &mut MemoryHierarchy,
+    stats: &mut RunStats,
+    probe: &mut P,
+    st: &mut BlockState,
+    mut on_measured: impl FnMut(&mut P, &dyn Rig, u64),
+) {
+    // Pending-region granularity must be at least the largest possible
+    // TLB fill, or a fill could create a hit for a VA already scanned as
+    // a miss. 2 MiB mappings only exist under THP; the flush asserts.
+    let region_shift: u32 = if rig.thp() { 21 } else { 12 };
+    st.outcomes.clear();
+    st.outcomes.resize(block.len(), Outcome::default());
+    st.recs.clear();
+    st.pending_regions.clear();
+    let mut pending: Option<usize> = None;
+
+    for (i, a) in block.iter().enumerate() {
+        let region = a.va.raw() >> region_shift;
+        let mut hit = tlb.probe_any(a.va);
+        if let Some(s) = pending {
+            if hit || st.pending_regions.contains(&region) {
+                flush_run(rig, block, s..i, tlb, hier, &mut st.outcomes, region_shift);
+                st.pending_regions.clear();
+                pending = None;
+                hit = tlb.probe_any(a.va);
+            }
+        }
+        if hit {
+            let (h, _) = tlb.lookup_any(a.va).expect("probe_any saw a resident VA");
+            let path = match h {
+                TlbHit::L1 => TlbPath::L1,
+                _ => TlbPath::Stlb,
+            };
+            let pa = rig.data_pa(a.va);
+            let (level, cycles) = hier.access(pa.raw());
+            st.recs.push(Rec::Hit {
+                path,
+                level,
+                cycles,
+            });
+        } else {
+            if pending.is_none() {
+                pending = Some(i);
+            }
+            st.pending_regions.insert(region);
+            st.recs.push(Rec::Miss);
+        }
+    }
+    if let Some(s) = pending {
+        let e = block.len();
+        flush_run(rig, block, s..e, tlb, hier, &mut st.outcomes, region_shift);
+        st.pending_regions.clear();
+    }
+
+    // Deferred accounting: replay the records in element order with the
+    // exact measured/ACTIVE gating of step_access.
+    for (j, rec) in st.recs.iter().enumerate() {
+        if j < measured_from {
+            continue;
+        }
+        match rec {
+            Rec::Miss => {
+                let o = &st.outcomes[j];
+                stats.walks += 1;
+                stats.walk_cycles += o.tr.cycles;
+                stats.walk_refs += o.tr.refs;
+                if o.tr.fallback {
+                    stats.fallbacks += 1;
+                }
+                if P::ACTIVE {
+                    probe.tlb_lookup(TlbPath::Miss);
+                    probe.walk(o.tr.cycles, o.tr.refs, o.tr.fallback);
+                    for (level, n) in [
+                        (MemLevel::L1, o.pte[0]),
+                        (MemLevel::L2, o.pte[1]),
+                        (MemLevel::Llc, o.pte[2]),
+                        (MemLevel::Dram, o.pte[3]),
+                    ] {
+                        if n > 0 {
+                            probe.pte_fetches(level, n);
+                        }
+                    }
+                }
+                stats.accesses += 1;
+                stats.data_cycles += o.data_cycles;
+                if P::ACTIVE {
+                    probe.data_access(mem_level(o.data_level), o.data_cycles);
+                }
+            }
+            Rec::Hit {
+                path,
+                level,
+                cycles,
+            } => {
+                if P::ACTIVE {
+                    probe.tlb_lookup(*path);
+                }
+                stats.accesses += 1;
+                stats.data_cycles += cycles;
+                if P::ACTIVE {
+                    probe.data_access(mem_level(*level), *cycles);
+                }
+            }
+        }
+        on_measured(probe, rig, stats.accesses);
+    }
+}
+
 /// [`run`] with an observation probe threaded through the loop.
 ///
 /// Every probe call site is gated on `P::ACTIVE`, a const the compiler
@@ -109,7 +314,81 @@ fn mem_level(l: HitLevel) -> MemLevel {
 /// to cache levels by diffing [`MemoryHierarchy::stats`] around the
 /// rig's translate call, and every `sample_interval` measured accesses
 /// the rig's fragmentation/RSS snapshot is appended to a time-series.
+///
+/// This is the *batched* engine: accesses are fed to [`run_block`] in
+/// [`BLOCK_SIZE`] chunks, which hands miss runs to
+/// [`Rig::translate_batch`] and defers accounting to one reconciliation
+/// pass per block. It is bit-identical to [`run_probed_scalar`] — the
+/// contract `tests/batch_equivalence.rs` and the backend goldens pin.
 pub fn run_probed<I, P>(rig: &mut dyn Rig, trace: I, warmup: usize, probe: &mut P) -> RunStats
+where
+    I: IntoIterator,
+    I::Item: Borrow<Access>,
+    P: Probe,
+{
+    let mut tlb = Tlb::default();
+    let mut hier = MemoryHierarchy::default();
+    let mut stats = RunStats::default();
+    let sample_every = if P::ACTIVE {
+        probe.sample_interval().unwrap_or(0)
+    } else {
+        0
+    };
+    let on_measured = |p: &mut P, r: &dyn Rig, accesses: u64| {
+        if sample_every > 0 && accesses.is_multiple_of(sample_every) {
+            if let Some((frag, rss)) = r.frag_sample() {
+                p.sample(accesses, frag, rss);
+            }
+        }
+    };
+    let mut st = BlockState::default();
+    let mut buf: Vec<Access> = Vec::with_capacity(BLOCK_SIZE);
+    let mut base = 0usize;
+    for a in trace.into_iter() {
+        buf.push(*a.borrow());
+        if buf.len() == BLOCK_SIZE {
+            run_block(
+                rig,
+                &buf,
+                warmup.saturating_sub(base),
+                &mut tlb,
+                &mut hier,
+                &mut stats,
+                probe,
+                &mut st,
+                on_measured,
+            );
+            base += BLOCK_SIZE;
+            buf.clear();
+        }
+    }
+    if !buf.is_empty() {
+        run_block(
+            rig,
+            &buf,
+            warmup.saturating_sub(base),
+            &mut tlb,
+            &mut hier,
+            &mut stats,
+            probe,
+            &mut st,
+            on_measured,
+        );
+    }
+    stats.exits = rig.exits();
+    stats.faults = rig.faults();
+    if P::ACTIVE {
+        probe.absorb_components(rig.component_counters());
+    }
+    stats
+}
+
+/// The pre-batching engine: one [`step_access`] per trace element.
+///
+/// Kept as the reference implementation the batched path is measured
+/// and equivalence-tested against; select it with
+/// [`RunnerBuilder::scalar_engine`](crate::runner::RunnerBuilder::scalar_engine).
+pub fn run_probed_scalar<I, P>(rig: &mut dyn Rig, trace: I, warmup: usize, probe: &mut P) -> RunStats
 where
     I: IntoIterator,
     I::Item: Borrow<Access>,

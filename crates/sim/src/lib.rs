@@ -10,7 +10,10 @@
 //! * [`native_rig`] / [`virt_rig`] / [`nested_rig`] — thin environment
 //!   shells that own machine state and delegate to a registry-built
 //!   backend.
-//! * [`engine`] — TLB → translate → data-access loop with statistics.
+//! * [`engine`] — TLB → translate → data-access loop with statistics;
+//!   batched by default ([`engine::run_probed`]), with the scalar
+//!   reference loop ([`engine::run_probed_scalar`]) kept for
+//!   equivalence testing and as the bench-harness baseline.
 //! * [`perfmodel`] — the calibrated execution-time model (see DESIGN.md
 //!   for the substitution rationale).
 //! * [`experiments`] — Figure 4/14/15/16/17 and Table 5/6 runners.
@@ -59,12 +62,12 @@ pub mod sweep;
 pub mod virt_rig;
 
 pub use cloudnode::{ChurnConfig, NodeConfig, NodeStats, Tagging, TenantSpec, TenantStats};
-pub use engine::{ratio, run, run_probed, RunStats};
+pub use engine::{ratio, run, run_probed, run_probed_scalar, RunStats};
 pub use error::SimError;
 pub use experiments::{
     fig14, fig15, fig16, fig17, install_rig_wrapper, table5, table6, table7, telemetry_enabled,
     Scale, Table7Row,
 };
-pub use rig::{Design, Env, RefEntry, Rig, Setup, Translation};
+pub use rig::{Design, Env, Outcome, RefEntry, Rig, Setup, Translation};
 pub use runner::{env_config, EnvConfig, Runner, RunnerBuilder, TraceSet};
 pub use sweep::{sweep, sweep_serial, SweepConfig, SweepReport, SweepRow};

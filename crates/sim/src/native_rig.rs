@@ -5,12 +5,12 @@
 
 use crate::backends::{NativeMachine, NativeTranslator};
 use crate::error::SimError;
-use crate::rig::{Design, Env, RefEntry, Rig, Setup, Translation};
+use crate::rig::{Design, Env, Outcome, RefEntry, Rig, Setup, Translation};
 use dmt_cache::hierarchy::MemoryHierarchy;
 use dmt_mem::{PhysAddr, PhysMemory, VirtAddr};
 use dmt_os::proc::Process;
 use dmt_telemetry::ComponentCounters;
-use dmt_workloads::gen::Workload;
+use dmt_workloads::gen::{Access, Workload};
 
 /// A native machine running one workload under one design.
 pub struct NativeRig {
@@ -143,6 +143,15 @@ impl Rig for NativeRig {
 
     fn translate(&mut self, va: VirtAddr, hier: &mut MemoryHierarchy) -> Translation {
         self.backend.translate(&mut self.m, va, hier)
+    }
+
+    fn translate_batch(
+        &mut self,
+        accesses: &[Access],
+        hier: &mut MemoryHierarchy,
+        out: &mut [Outcome],
+    ) {
+        self.backend.translate_batch(&mut self.m, accesses, hier, out)
     }
 
     fn data_pa(&self, va: VirtAddr) -> PhysAddr {

@@ -4,13 +4,13 @@
 
 use crate::backends::NestedTranslator;
 use crate::error::SimError;
-use crate::rig::{Design, Env, RefEntry, Rig, Setup, Translation};
+use crate::rig::{Design, Env, Outcome, RefEntry, Rig, Setup, Translation};
 use dmt_cache::hierarchy::MemoryHierarchy;
 use dmt_mem::buddy::FrameKind;
 use dmt_mem::{PhysAddr, VirtAddr};
 use dmt_telemetry::ComponentCounters;
 use dmt_virt::nested::NestedMachine;
-use dmt_workloads::gen::Workload;
+use dmt_workloads::gen::{Access, Workload};
 
 /// A nested (L0/L1/L2) machine running one workload under one design.
 pub struct NestedRig {
@@ -124,6 +124,15 @@ impl Rig for NestedRig {
 
     fn translate(&mut self, va: VirtAddr, hier: &mut MemoryHierarchy) -> Translation {
         self.backend.translate(&mut self.m, va, hier)
+    }
+
+    fn translate_batch(
+        &mut self,
+        accesses: &[Access],
+        hier: &mut MemoryHierarchy,
+        out: &mut [Outcome],
+    ) {
+        self.backend.translate_batch(&mut self.m, accesses, hier, out)
     }
 
     fn data_pa(&self, va: VirtAddr) -> PhysAddr {

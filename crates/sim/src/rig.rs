@@ -102,6 +102,58 @@ pub struct Translation {
     pub fallback: bool,
 }
 
+/// Everything the block engine needs back from one batched element:
+/// the translation itself plus the data access and per-level PTE-fetch
+/// attribution the scalar path would have derived inline. Produced by
+/// [`Rig::translate_batch`] so the engine can reconcile statistics and
+/// telemetry once per block instead of once per access.
+#[derive(Debug, Clone, Copy)]
+pub struct Outcome {
+    /// The completed translation.
+    pub tr: Translation,
+    /// Where the subsequent data access hit.
+    pub data_level: dmt_cache::hierarchy::HitLevel,
+    /// Cycles the data access cost.
+    pub data_cycles: u64,
+    /// PTE fetches per memory level `[L1, L2, LLC, DRAM]` — the
+    /// [`HierarchyStats`](dmt_cache::hierarchy::HierarchyStats) delta
+    /// across the translation, in the same shape the scalar engine
+    /// feeds `Probe::pte_fetch`.
+    pub pte: [u64; 4],
+}
+
+impl Default for Outcome {
+    fn default() -> Self {
+        Outcome {
+            tr: Translation {
+                pa: PhysAddr(0),
+                size: PageSize::Size4K,
+                cycles: 0,
+                refs: 0,
+                fallback: false,
+            },
+            data_level: dmt_cache::hierarchy::HitLevel::L1,
+            data_cycles: 0,
+            pte: [0; 4],
+        }
+    }
+}
+
+/// Per-level PTE-fetch deltas between two hierarchy snapshots, in
+/// `[L1, L2, LLC, DRAM]` order — the batched twin of the scalar
+/// engine's diff around `translate`.
+pub fn pte_delta(
+    before: dmt_cache::hierarchy::HierarchyStats,
+    after: dmt_cache::hierarchy::HierarchyStats,
+) -> [u64; 4] {
+    [
+        after.l1_hits - before.l1_hits,
+        after.l2_hits - before.l2_hits,
+        after.llc_hits - before.llc_hits,
+        after.dram_accesses - before.dram_accesses,
+    ]
+}
+
 /// The reference leaf entry a software radix walk produces for a VA —
 /// what the oracle compares every design's [`Translation`] against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -138,6 +190,38 @@ pub trait Rig {
     /// Software ground-truth translation (for charging the data access
     /// itself without involving the translation machinery).
     fn data_pa(&self, va: VirtAddr) -> PhysAddr;
+
+    /// Translate a run of TLB-missing accesses in one call, charging
+    /// `hier` for each element's walk *and* data access in scalar
+    /// order, and filling `out[i]` for `accesses[i]`.
+    ///
+    /// The contract is bit-identity with the scalar path: the sequence
+    /// of memory-hierarchy and walk-cache operations must be exactly
+    /// what per-element `translate` + data `hier.access` would issue
+    /// (DESIGN.md §13). The default does literally that; backends
+    /// override it to hoist lookup machinery once per run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than `accesses`, or (like
+    /// [`translate`](Self::translate)) on unpopulated addresses.
+    fn translate_batch(
+        &mut self,
+        accesses: &[Access],
+        hier: &mut MemoryHierarchy,
+        out: &mut [Outcome],
+    ) {
+        for (a, o) in accesses.iter().zip(out.iter_mut()) {
+            let before = hier.stats();
+            let tr = self.translate(a.va, hier);
+            o.pte = pte_delta(before, hier.stats());
+            o.tr = tr;
+            let pa = self.data_pa(a.va);
+            let (level, cycles) = hier.access(pa.raw());
+            o.data_level = level;
+            o.data_cycles = cycles;
+        }
+    }
 
     /// Full reference entry (PA + size + permissions) from the rig's own
     /// software ground truth, for the differential oracle. `None` means
@@ -233,6 +317,15 @@ impl Rig for Box<dyn Rig> {
 
     fn data_pa(&self, va: VirtAddr) -> PhysAddr {
         (**self).data_pa(va)
+    }
+
+    fn translate_batch(
+        &mut self,
+        accesses: &[Access],
+        hier: &mut MemoryHierarchy,
+        out: &mut [Outcome],
+    ) {
+        (**self).translate_batch(accesses, hier, out)
     }
 
     fn ref_translate(&self, va: VirtAddr) -> Option<RefEntry> {

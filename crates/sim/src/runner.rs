@@ -28,7 +28,7 @@
 //! need a trace generates it while other workers replay already-ready
 //! keys; a materialization counter proves each key was generated once.
 
-use crate::engine::{run_probed, RunStats};
+use crate::engine::{run_probed, run_probed_scalar, RunStats};
 use crate::error::SimError;
 use crate::experiments::{scaled_benchmark, Measurement, RigWrapper, Scale};
 use crate::native_rig::NativeRig;
@@ -103,6 +103,7 @@ pub struct Runner {
     pub(crate) telemetry: bool,
     pub(crate) results_dir: PathBuf,
     pub(crate) spill_dir: Option<PathBuf>,
+    pub(crate) scalar: bool,
 }
 
 /// Builder for [`Runner`]. Every knob has an explicit default: no
@@ -120,6 +121,7 @@ impl Default for RunnerBuilder {
                 telemetry: false,
                 results_dir: PathBuf::from("results"),
                 spill_dir: None,
+                scalar: false,
             },
         }
     }
@@ -152,6 +154,15 @@ impl RunnerBuilder {
         self
     }
 
+    /// Use the scalar reference engine (one [`crate::engine::step_access`]
+    /// per element) instead of the batched fast path. Both are
+    /// bit-identical by contract (DESIGN.md §13); the scalar engine is
+    /// the baseline the bench harness measures the batched path against.
+    pub fn scalar_engine(mut self, on: bool) -> Self {
+        self.runner.scalar = on;
+        self
+    }
+
     /// Finish the builder.
     pub fn build(self) -> Runner {
         self.runner
@@ -175,7 +186,14 @@ impl Runner {
             telemetry: cfg.telemetry,
             results_dir: cfg.results_dir.clone(),
             spill_dir: None,
+            scalar: false,
         }
+    }
+
+    /// Whether this runner drives the scalar reference engine instead
+    /// of the batched fast path.
+    pub fn scalar_engine_enabled(&self) -> bool {
+        self.scalar
     }
 
     /// Where this runner writes JSON reports.
@@ -242,12 +260,19 @@ impl Runner {
         I: IntoIterator,
         I::Item: Borrow<Access>,
     {
-        if self.telemetry {
-            let mut t = Telemetry::with_interval(interval);
-            let stats = run_probed(rig, trace, warmup, &mut t);
-            (stats, Some(t))
-        } else {
-            (run_probed(rig, trace, warmup, &mut NoopProbe), None)
+        match (self.telemetry, self.scalar) {
+            (true, false) => {
+                let mut t = Telemetry::with_interval(interval);
+                let stats = run_probed(rig, trace, warmup, &mut t);
+                (stats, Some(t))
+            }
+            (true, true) => {
+                let mut t = Telemetry::with_interval(interval);
+                let stats = run_probed_scalar(rig, trace, warmup, &mut t);
+                (stats, Some(t))
+            }
+            (false, false) => (run_probed(rig, trace, warmup, &mut NoopProbe), None),
+            (false, true) => (run_probed_scalar(rig, trace, warmup, &mut NoopProbe), None),
         }
     }
 

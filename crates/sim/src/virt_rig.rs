@@ -5,13 +5,13 @@
 use crate::backends::VirtTranslator;
 use crate::error::SimError;
 use crate::registry::Arena;
-use crate::rig::{Design, Env, RefEntry, Rig, Setup, Translation};
+use crate::rig::{Design, Env, Outcome, RefEntry, Rig, Setup, Translation};
 use dmt_cache::hierarchy::MemoryHierarchy;
 use dmt_mem::buddy::FrameKind;
 use dmt_mem::{PhysAddr, VirtAddr};
 use dmt_telemetry::ComponentCounters;
 use dmt_virt::machine::VirtMachine;
-use dmt_workloads::gen::Workload;
+use dmt_workloads::gen::{Access, Workload};
 
 /// A virtualized machine running one workload under one design.
 pub struct VirtRig {
@@ -144,6 +144,15 @@ impl Rig for VirtRig {
 
     fn translate(&mut self, va: VirtAddr, hier: &mut MemoryHierarchy) -> Translation {
         self.backend.translate(&mut self.m, va, hier)
+    }
+
+    fn translate_batch(
+        &mut self,
+        accesses: &[Access],
+        hier: &mut MemoryHierarchy,
+        out: &mut [Outcome],
+    ) {
+        self.backend.translate_batch(&mut self.m, accesses, hier, out)
     }
 
     fn data_pa(&self, va: VirtAddr) -> PhysAddr {

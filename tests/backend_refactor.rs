@@ -51,14 +51,9 @@ fn golden_path() -> std::path::PathBuf {
         .join("backend_cells.json")
 }
 
-#[test]
-fn per_cell_outcomes_match_pre_refactor_golden() {
-    // Oracle + telemetry on: the pinned snapshot covers the hooks too
-    // (a backend that drifted only under the wrapper would still fail).
-    let runner = Runner::builder()
-        .telemetry(true)
-        .rig_wrapper(dmt::oracle::wrapper())
-        .build();
+/// Sweep the full matrix under `runner` and render the deterministic
+/// outcome snapshot (schema `dmt-backend-cells-v1`).
+fn sweep_snapshot(runner: &Runner) -> String {
     let report = runner.sweep(&cells()).expect("sweep runs");
 
     // Only the deterministic outcome goes into the snapshot — no host
@@ -90,7 +85,20 @@ fn per_cell_outcomes_match_pre_refactor_golden() {
     let snapshot = Json::obj()
         .set("schema", Json::Str("dmt-backend-cells-v1".into()))
         .set("rows", Json::Arr(rows));
-    let rendered = format!("{snapshot}\n");
+    format!("{snapshot}\n")
+}
+
+#[test]
+fn per_cell_outcomes_match_pre_refactor_golden() {
+    // Oracle + telemetry on: the pinned snapshot covers the hooks too
+    // (a backend that drifted only under the wrapper would still fail).
+    // The runner default is the block-fed batched engine, so this pins
+    // the batched path against the scalar-era snapshot.
+    let runner = Runner::builder()
+        .telemetry(true)
+        .rig_wrapper(dmt::oracle::wrapper())
+        .build();
+    let rendered = sweep_snapshot(&runner);
 
     let path = golden_path();
     if std::env::var("DMT_REGEN_GOLDEN").map(|v| v == "1").unwrap_or(false) {
@@ -108,6 +116,33 @@ fn per_cell_outcomes_match_pre_refactor_golden() {
         rendered, golden,
         "per-cell outcome drifted from the pre-refactor snapshot {}; a backend \
          changed behaviour (if intentional, regenerate with DMT_REGEN_GOLDEN=1)",
+        path.display()
+    );
+}
+
+/// The scalar reference engine must reproduce the *same* golden file as
+/// the block-fed default: the snapshot pins not just each engine against
+/// history but both engines against each other at the full matrix.
+#[test]
+fn scalar_engine_cells_match_the_same_golden() {
+    let runner = Runner::builder()
+        .scalar_engine(true)
+        .telemetry(true)
+        .rig_wrapper(dmt::oracle::wrapper())
+        .build();
+    let rendered = sweep_snapshot(&runner);
+
+    let path = golden_path();
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with DMT_REGEN_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered, golden,
+        "scalar reference engine drifted from the shared snapshot {}; the batched \
+         and scalar engines no longer agree at the full matrix",
         path.display()
     );
 }

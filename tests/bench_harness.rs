@@ -1,0 +1,97 @@
+//! The perf harness is part of the correctness surface: its cells gate
+//! batch-vs-scalar bit-identity before any timing is reported, its
+//! simulation-derived fields must be deterministic run to run (only the
+//! wall-clock timings may differ), and its JSON report must keep the
+//! `dmt-bench-v1` schema that downstream tooling (CI artifact
+//! consumers, the recorded `BENCH_7.json` trajectory) parses.
+
+use dmt_bench::harness::{harness_cells, report_json, run_cell, run_harness};
+use dmt_sim::experiments::Scale;
+use dmt_sim::rig::{Design, Env};
+
+/// Two full harness runs at test scale: every simulation-derived field
+/// — stats, replayed counts, and the telemetry percentiles (histogram
+/// buckets) — must match exactly; only `scalar_ns`/`batched_ns` may
+/// differ.
+#[test]
+fn harness_is_deterministic_up_to_timing() {
+    let a = run_harness(Scale::test(), 1).expect("harness run");
+    let b = run_harness(Scale::test(), 1).expect("harness run");
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        let cell = format!("{}/{}", x.env.name(), x.design.name());
+        assert_eq!(x.env.name(), y.env.name(), "{cell}: cell order");
+        assert_eq!(x.design.name(), y.design.name(), "{cell}: cell order");
+        assert_eq!(x.workload, y.workload, "{cell}: workload");
+        assert_eq!(x.stats, y.stats, "{cell}: RunStats must be deterministic");
+        assert_eq!(x.replayed, y.replayed, "{cell}: replayed count");
+        assert_eq!(x.walk_p50, y.walk_p50, "{cell}: walk p50 bucket");
+        assert_eq!(x.walk_p99, y.walk_p99, "{cell}: walk p99 bucket");
+        assert_eq!(x.data_p50, y.data_p50, "{cell}: data p50 bucket");
+        assert_eq!(x.data_p99, y.data_p99, "{cell}: data p99 bucket");
+        assert!(x.scalar_ns > 0 && x.batched_ns > 0, "{cell}: timings recorded");
+    }
+}
+
+/// The harness slice covers the cells the recorded trajectory tracks:
+/// GUPS for native/virt × vanilla/dmt, with native/dmt present.
+#[test]
+fn harness_slice_covers_the_trajectory_cells() {
+    let cells = harness_cells();
+    assert!(cells
+        .iter()
+        .any(|c| matches!((c.env, c.design), (Env::Native, Design::Dmt))));
+    assert!(cells
+        .iter()
+        .any(|c| matches!((c.env, c.design), (Env::Native, Design::Vanilla))));
+    assert!(cells
+        .iter()
+        .any(|c| matches!((c.env, c.design), (Env::Virt, Design::Dmt))));
+}
+
+/// Schema pin for `dmt-bench-v1`: every key downstream consumers read
+/// must be present in the rendered report. (Key order inside objects is
+/// part of the deterministic rendering, but consumers key by name, so
+/// only presence is pinned here.)
+#[test]
+fn report_keeps_the_dmt_bench_v1_schema() {
+    let cell = run_cell(
+        *harness_cells()
+            .iter()
+            .find(|c| matches!((c.env, c.design), (Env::Native, Design::Dmt)))
+            .expect("native/dmt cell"),
+        Scale::test(),
+        1,
+    )
+    .expect("native/dmt cell runs");
+    let json = report_json(&[cell], Scale::test(), "testcommit").to_string();
+    for key in [
+        "\"schema\": \"dmt-bench-v1\"",
+        "\"commit\": \"testcommit\"",
+        "\"scale\"",
+        "\"mult4k\"",
+        "\"thp_mult\"",
+        "\"trace\"",
+        "\"warmup\"",
+        "\"cells\"",
+        "\"env\": \"Native\"",
+        "\"design\": \"DMT\"",
+        "\"workload\"",
+        "\"replayed\"",
+        "\"accesses\"",
+        "\"walks\"",
+        "\"scalar\"",
+        "\"batched\"",
+        "\"ns_total\"",
+        "\"ns_per_access\"",
+        "\"accesses_per_sec\"",
+        "\"speedup\"",
+        "\"percentiles\"",
+        "\"walk_p50\"",
+        "\"walk_p99\"",
+        "\"data_p50\"",
+        "\"data_p99\"",
+    ] {
+        assert!(json.contains(key), "schema dmt-bench-v1 lost key {key}: {json}");
+    }
+}

@@ -146,6 +146,65 @@ fn one_tenant_telemetry_matches_the_single_rig_engine() {
 }
 
 #[test]
+fn scalar_and_batched_node_engines_agree() {
+    // The node feeds each quantum through the block-fed batched engine
+    // by default; the scalar reference engine must produce the same
+    // NodeStats — multi-tenant counters (tagged flushes, cross-tenant
+    // shootdowns, context switches) included — and the same telemetry,
+    // under churn, for both a DMT and a radix design.
+    for design in [Design::Dmt, Design::Vanilla] {
+        let cfg = mixed_node(design);
+        let batched = Runner::builder().telemetry(true).build();
+        let scalar = Runner::builder().scalar_engine(true).telemetry(true).build();
+        let (b_stats, b_tel) = batched.run_node(&cfg).expect("batched node");
+        let (s_stats, s_tel) = scalar.run_node(&cfg).expect("scalar node");
+        assert_eq!(
+            b_stats, s_stats,
+            "{design:?}: batched node diverged from the scalar reference"
+        );
+        assert_eq!(b_stats.tagged_flushes, s_stats.tagged_flushes);
+        assert_eq!(b_stats.cross_tenant_shootdowns, s_stats.cross_tenant_shootdowns);
+        let (b_t, s_t) = (b_tel.expect("telemetry on"), s_tel.expect("telemetry on"));
+        for c in Counter::ALL {
+            assert_eq!(
+                b_t.counters.get(c),
+                s_t.counters.get(c),
+                "{design:?}: counter {} diverged between engines",
+                c.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn one_tenant_node_block_path_matches_the_single_rig_engine() {
+    // The 1-tenant degeneration above runs the default engine; this
+    // pins the *block-fed* node path against the *block-fed* single-rig
+    // replay explicitly, quantum sizes straddling the engine's 256
+    // block: quanta smaller than, equal to, and larger than one block
+    // must all degenerate to the same bit-identical replay.
+    let runner = Runner::builder().build();
+    let w = scaled_benchmark(0, scale(), false).expect("bench 0");
+    let single = runner
+        .run_one(Env::Native, Design::Dmt, false, w.as_ref(), scale())
+        .expect("single rig runs");
+    for quantum in [64, 255, 256, 257, 1024] {
+        let cfg = NodeConfig::new(
+            Design::Dmt,
+            false,
+            scale(),
+            vec![TenantSpec { bench: 0, env: Env::Native, weight: 1 }],
+        )
+        .quantum(quantum);
+        let node = runner.run_node(&cfg).expect("node runs").0;
+        assert_eq!(
+            node.node, single.stats,
+            "1-tenant block path != single rig at quantum {quantum}"
+        );
+    }
+}
+
+#[test]
 fn tagging_policy_drives_the_flush_accounting() {
     let runner = Runner::builder().build();
     let tagged = runner
