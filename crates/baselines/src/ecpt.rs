@@ -235,6 +235,15 @@ impl Ecpt {
         self.resizes
     }
 
+    /// Flush the Cuckoo Walk Cache (tags and payloads), as a TLB-flush
+    /// analog — the tables themselves are untouched. The sharded-replay
+    /// epoch barrier relies on this to make warm-cache state a function
+    /// of position in the trace (DESIGN.md §14).
+    pub fn flush_walk_cache(&mut self) {
+        self.cwc.flush();
+        self.cwc_payload.clear();
+    }
+
     /// Map a page (software insert; resizes as needed).
     ///
     /// # Errors

@@ -117,6 +117,15 @@ impl FlatPageTable {
         })
     }
 
+    /// Flush the upper-entry cache (tags and payloads), as a TLB-flush
+    /// analog — the mapping itself is untouched. The sharded-replay
+    /// epoch barrier relies on this to make warm-cache state a function
+    /// of position in the trace (DESIGN.md §14).
+    pub fn flush_upper_cache(&mut self) {
+        self.upper_cache.flush();
+        self.upper_payload.clear();
+    }
+
     /// Disable or enable the upper-entry cache (worst-case analysis).
     pub fn set_upper_cache(&mut self, enabled: bool) {
         self.cache_enabled = enabled;

@@ -6,6 +6,7 @@
 //! experiment to the paper-regime scale used for EXPERIMENTS.md (slower).
 
 pub mod harness;
+pub mod shards;
 
 use dmt_sim::experiments::Scale;
 

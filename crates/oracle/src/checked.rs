@@ -259,6 +259,10 @@ impl<R: Rig> Rig for Checked<R> {
     fn flush_translation_caches(&mut self) {
         self.inner.flush_translation_caches()
     }
+
+    fn alloc_state_hash(&self) -> Option<u64> {
+        self.inner.alloc_state_hash()
+    }
 }
 
 /// A mutation rig: forwards everything to the wrapped rig but flips one
@@ -357,6 +361,10 @@ impl<R: Rig> Rig for BitFlip<R> {
 
     fn flush_translation_caches(&mut self) {
         self.inner.flush_translation_caches()
+    }
+
+    fn alloc_state_hash(&self) -> Option<u64> {
+        self.inner.alloc_state_hash()
     }
 }
 

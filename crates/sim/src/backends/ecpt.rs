@@ -134,6 +134,10 @@ impl NativeTranslator for NativeEcpt {
             fallback: false,
         }
     }
+
+    fn flush_caches(&mut self) {
+        self.ecpt.flush_walk_cache();
+    }
 }
 
 /// Guest ECPT lookup with each candidate resolved through the host
@@ -161,5 +165,10 @@ impl VirtTranslator for VirtEcpt {
             refs: out.seq_refs(),
             fallback: false,
         }
+    }
+
+    fn flush_caches(&mut self) {
+        self.necpt.guest.flush_walk_cache();
+        self.necpt.host.flush_walk_cache();
     }
 }

@@ -115,6 +115,10 @@ impl NativeTranslator for NativeFpt {
             fallback: false,
         }
     }
+
+    fn flush_caches(&mut self) {
+        self.fpt.flush_upper_cache();
+    }
 }
 
 /// Flattened 2D walk: guest FPT steps each resolved through the host
@@ -143,5 +147,10 @@ impl VirtTranslator for VirtFpt {
             refs: out.refs(),
             fallback: false,
         }
+    }
+
+    fn flush_caches(&mut self) {
+        self.gfpt.flush_upper_cache();
+        self.hfpt.flush_upper_cache();
     }
 }

@@ -328,6 +328,15 @@ pub trait NativeTranslator {
     fn coverage(&self) -> f64 {
         1.0
     }
+
+    /// Flush any translation caches the backend itself keeps (e.g.
+    /// FPT's upper-entry cache, ECPT's cuckoo walk cache) — the
+    /// design's persistent structures are untouched. Part of the
+    /// [`Rig::flush_translation_caches`] barrier (DESIGN.md §14); a
+    /// backend with no such cache keeps the no-op default.
+    ///
+    /// [`Rig::flush_translation_caches`]: crate::rig::Rig::flush_translation_caches
+    fn flush_caches(&mut self) {}
 }
 
 /// A design's translate path in the single-level virtualized
@@ -371,6 +380,10 @@ pub trait VirtTranslator {
     fn coverage(&self) -> f64 {
         1.0
     }
+
+    /// Flush any translation caches the backend itself keeps — see
+    /// [`NativeTranslator::flush_caches`].
+    fn flush_caches(&mut self) {}
 }
 
 /// A design's translate path in the nested (L0/L1/L2) environment.
@@ -413,4 +426,8 @@ pub trait NestedTranslator {
     fn coverage(&self) -> f64 {
         1.0
     }
+
+    /// Flush any translation caches the backend itself keeps — see
+    /// [`NativeTranslator::flush_caches`].
+    fn flush_caches(&mut self) {}
 }

@@ -43,6 +43,18 @@ pub enum SimError {
     Trace(String),
     /// Filesystem I/O outside the trace codec (results dir, spill dir).
     Io(String),
+    /// Sharded replay over a trace file whose chunk grid the epoch
+    /// length does not align to: shard boundaries must land on chunk
+    /// points so every shard decodes whole chunks.
+    ShardAlign {
+        /// The configured epoch length (accesses).
+        epoch_len: usize,
+        /// The trace file's chunk length (accesses).
+        chunk_len: u64,
+    },
+    /// Shard workers disagreed on replay-invariant state (allocator
+    /// hash) — a broken epoch-barrier or a non-deterministic rig.
+    ShardDiverged(String),
 }
 
 impl fmt::Display for SimError {
@@ -66,6 +78,16 @@ impl fmt::Display for SimError {
             }
             SimError::Trace(msg) => write!(f, "trace error: {msg}"),
             SimError::Io(msg) => write!(f, "I/O error: {msg}"),
+            SimError::ShardAlign {
+                epoch_len,
+                chunk_len,
+            } => write!(
+                f,
+                "sharded replay epoch length {epoch_len} is not a multiple of the trace chunk length {chunk_len}"
+            ),
+            SimError::ShardDiverged(msg) => {
+                write!(f, "shard replay diverged: {msg}")
+            }
         }
     }
 }

@@ -23,6 +23,9 @@
 //! * [`runner`] — the unified [`runner::Runner`] entry point, the
 //!   shared-trace materialization stage, and the workspace's single
 //!   environment-read site ([`runner::env_config`]).
+//! * [`shard`] — sharded intra-trace parallel replay: K epoch-aligned
+//!   shards on scoped threads, bit-identical to the serial
+//!   epoch-barrier reference (DESIGN.md §14).
 //! * [`sweep`] — parallel (env × design × THP × benchmark) sweeps over
 //!   the shared trace pool, with JSON reports.
 //! * [`cloudnode`] — the multi-tenant cloud-node scenario engine:
@@ -58,6 +61,7 @@ pub mod registry;
 pub mod report;
 pub mod rig;
 pub mod runner;
+pub mod shard;
 pub mod sweep;
 pub mod virt_rig;
 
@@ -69,5 +73,8 @@ pub use experiments::{
     Scale, Table7Row,
 };
 pub use rig::{Design, Env, Outcome, RefEntry, Rig, Setup, Translation};
-pub use runner::{env_config, EnvConfig, Runner, RunnerBuilder, TraceSet};
+pub use runner::{
+    env_config, EnvConfig, Runner, RunnerBuilder, TraceSet, DEFAULT_EPOCH_LEN, SPILL_CHUNK_LEN,
+};
+pub use shard::{plan_shards, ShardSource, ShardSpec, ShardedOutcome};
 pub use sweep::{sweep, sweep_serial, SweepConfig, SweepReport, SweepRow};

@@ -206,5 +206,10 @@ impl Rig for NativeRig {
 
     fn flush_translation_caches(&mut self) {
         self.m.pwc.flush();
+        self.backend.flush_caches();
+    }
+
+    fn alloc_state_hash(&self) -> Option<u64> {
+        Some(self.m.pm.buddy().state_hash())
     }
 }

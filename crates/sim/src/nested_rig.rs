@@ -193,5 +193,10 @@ impl Rig for NestedRig {
         if let Some(p) = self.m.nested_caches.nested_pwc.as_mut() {
             p.flush();
         }
+        self.backend.flush_caches();
+    }
+
+    fn alloc_state_hash(&self) -> Option<u64> {
+        Some(self.m.pm.buddy().state_hash())
     }
 }

@@ -296,6 +296,15 @@ pub trait Rig {
     /// switches for untagged hardware; rigs with no internal caches do
     /// nothing.
     fn flush_translation_caches(&mut self) {}
+
+    /// Deterministic hash of the rig's physical-allocator state, or
+    /// `None` when the rig exposes no allocator. Sharded replay asserts
+    /// every shard's rig ends with the identical image (replay never
+    /// mutates allocation state), and the shard-equivalence suite
+    /// compares it against the serial reference.
+    fn alloc_state_hash(&self) -> Option<u64> {
+        None
+    }
 }
 
 impl Rig for Box<dyn Rig> {
@@ -366,6 +375,10 @@ impl Rig for Box<dyn Rig> {
 
     fn flush_translation_caches(&mut self) {
         (**self).flush_translation_caches()
+    }
+
+    fn alloc_state_hash(&self) -> Option<u64> {
+        (**self).alloc_state_hash()
     }
 }
 

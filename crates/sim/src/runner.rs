@@ -104,7 +104,19 @@ pub struct Runner {
     pub(crate) results_dir: PathBuf,
     pub(crate) spill_dir: Option<PathBuf>,
     pub(crate) scalar: bool,
+    pub(crate) shards: usize,
+    pub(crate) epoch_len: usize,
 }
+
+/// Default epoch length for the sharded replay's barrier schedule
+/// (DESIGN.md §14). A multiple of [`SPILL_CHUNK_LEN`] so file-backed
+/// sharding aligns out of the box.
+pub const DEFAULT_EPOCH_LEN: usize = 65_536;
+
+/// Chunk length (accesses) for traces the sweep spills to disk. Spilled
+/// traces are v2 (seekable), so the sharded replay can decode chunks
+/// straight out of the mapping.
+pub const SPILL_CHUNK_LEN: u64 = 4_096;
 
 /// Builder for [`Runner`]. Every knob has an explicit default: no
 /// wrapper, no telemetry, `results/`, traces held in memory.
@@ -122,6 +134,8 @@ impl Default for RunnerBuilder {
                 results_dir: PathBuf::from("results"),
                 spill_dir: None,
                 scalar: false,
+                shards: 1,
+                epoch_len: DEFAULT_EPOCH_LEN,
             },
         }
     }
@@ -163,6 +177,28 @@ impl RunnerBuilder {
         self
     }
 
+    /// Replay traces across `k` shard workers
+    /// ([`Runner::replay_sharded`]); sweeps route through the sharded
+    /// path when `k > 1`. Bit-identical to serial replay under the
+    /// epoch-barrier schedule (DESIGN.md §14). `0` is clamped to `1`.
+    pub fn shards(mut self, k: usize) -> Self {
+        self.runner.shards = k.max(1);
+        self
+    }
+
+    /// Epoch length (accesses) of the barrier schedule shards are cut
+    /// on. Serial epoch-barrier replay uses the same grid, so results
+    /// do not depend on the shard count — only on this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn epoch_len(mut self, n: usize) -> Self {
+        assert!(n > 0, "epoch length must be positive");
+        self.runner.epoch_len = n;
+        self
+    }
+
     /// Finish the builder.
     pub fn build(self) -> Runner {
         self.runner
@@ -187,7 +223,19 @@ impl Runner {
             results_dir: cfg.results_dir.clone(),
             spill_dir: None,
             scalar: false,
+            shards: 1,
+            epoch_len: DEFAULT_EPOCH_LEN,
         }
+    }
+
+    /// How many shard workers sweeps replay each trace across.
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// The epoch length of the sharded-replay barrier schedule.
+    pub fn epoch_length(&self) -> usize {
+        self.epoch_len
     }
 
     /// Whether this runner drives the scalar reference engine instead
@@ -445,7 +493,8 @@ impl TraceSet {
                     w.name().to_lowercase(),
                     if key.thp { "thp" } else { "4k" }
                 ));
-                let mut tw = TraceWriter::create(&path, &TraceMeta::of_workload(w.as_ref()))?;
+                let meta = TraceMeta::of_workload(w.as_ref()).chunked(SPILL_CHUNK_LEN);
+                let mut tw = TraceWriter::create(&path, &meta)?;
                 tw.push_all(trace.iter().copied())?;
                 tw.finish()?;
                 TraceStore::Disk(path)

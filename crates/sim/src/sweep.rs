@@ -282,20 +282,52 @@ impl Runner {
     ) -> Result<SweepRow, SimError> {
         let started = Instant::now();
         let entry = traces.entry(job.bench, job.thp)?;
-        let mut rig = self.build_rig(job.env, job.design, job.thp, &entry.setup)?;
         let interval = (scale.total() as u64 / 32).max(1);
-        let (stats, telemetry) = match &entry.store {
-            TraceStore::Memory(v) => {
-                self.replay_sampled(rig.as_mut(), v.iter(), scale.warmup, interval)
-            }
-            TraceStore::Disk(path) => self.replay_sampled(
-                rig.as_mut(),
-                TraceReader::open(path)?.accesses(),
-                scale.warmup,
-                interval,
-            ),
+        let (stats, telemetry, coverage) = if self.shards > 1 {
+            // Sharded intra-trace replay (DESIGN.md §14). Coverage is
+            // derived from the merged walk stats — per-rig cumulative
+            // coverage does not merge across shards.
+            let out = match &entry.store {
+                TraceStore::Memory(v) => self.replay_sharded(
+                    job.env,
+                    job.design,
+                    job.thp,
+                    &entry.setup,
+                    crate::shard::ShardSource::Memory(v),
+                    scale.warmup,
+                    interval,
+                )?,
+                TraceStore::Disk(path) => {
+                    let f = dmt_trace::TraceFile::open(path)?;
+                    self.replay_sharded(
+                        job.env,
+                        job.design,
+                        job.thp,
+                        &entry.setup,
+                        crate::shard::ShardSource::File(&f),
+                        scale.warmup,
+                        interval,
+                    )?
+                }
+            };
+            let coverage = out.derived_coverage();
+            (out.stats, out.telemetry, coverage)
+        } else {
+            let mut rig = self.build_rig(job.env, job.design, job.thp, &entry.setup)?;
+            let (stats, telemetry) = match &entry.store {
+                TraceStore::Memory(v) => {
+                    self.replay_sampled(rig.as_mut(), v.iter(), scale.warmup, interval)
+                }
+                TraceStore::Disk(path) => self.replay_sampled(
+                    rig.as_mut(),
+                    TraceReader::open(path)?.accesses(),
+                    scale.warmup,
+                    interval,
+                ),
+            };
+            let coverage = rig.coverage();
+            (stats, telemetry, coverage)
         };
-        let coverage = rig.coverage();
         let wall_nanos = started.elapsed().as_nanos() as u64;
         let secs = wall_nanos as f64 / 1e9;
         Ok(SweepRow {

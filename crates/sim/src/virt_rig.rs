@@ -218,5 +218,10 @@ impl Rig for VirtRig {
             p.flush();
         }
         self.m.shadow_pwc.flush();
+        self.backend.flush_caches();
+    }
+
+    fn alloc_state_hash(&self) -> Option<u64> {
+        Some(self.m.pm.buddy().state_hash())
     }
 }

@@ -32,6 +32,44 @@
 //! (small deltas) still take one or two bytes, which is what makes the
 //! format ~8× smaller than a naive fixed-width record on
 //! sequential-heavy traces.
+//!
+//! # Format (version 2, chunked)
+//!
+//! Version 2 makes the body seekable without giving up the delta
+//! codec. The header gains one field after the region table:
+//!
+//! ```text
+//! chunk_len  8 B  u64 LE, accesses per chunk (> 0)
+//! ```
+//!
+//! The body is the same token stream, except the delta base `prev_va`
+//! resets to 0 at every chunk boundary — i.e. before access ordinals
+//! `0, chunk_len, 2·chunk_len, …`. Boundaries are placed purely by
+//! access ordinal, so the byte stream is a function of the access
+//! sequence alone, never of how the producer batched its writes. The
+//! trailer is identical to v1 (and still covers the whole trace), so a
+//! streaming [`TraceReader`] replays v2 exactly like v1.
+//!
+//! After the trailer comes the chunk index — one fixed 32-byte record
+//! per chunk — and a fixed 32-byte footer that locates it from the end
+//! of the file:
+//!
+//! ```text
+//! index record: offset u64 LE   file offset of the chunk's first token
+//!               start  u64 LE   ordinal of its first access (i·chunk_len)
+//!               len    u64 LE   accesses in the chunk
+//!               hash   u64 LE   FNV-1a over the chunk's accesses
+//! footer:       index_offset u64 LE, chunk_count u64 LE,
+//!               index_fnv u64 LE (FNV-1a over the raw index bytes),
+//!               magic 8 B b"DMTIDX01"
+//! ```
+//!
+//! [`TraceFile`](crate::TraceFile) parses the footer + index from a
+//! zero-copy mapping and decodes any chunk independently (fresh delta
+//! base, per-chunk checksum), which is what makes sharded replay
+//! possible.
+//!
+//! [`TraceReader`]: crate::TraceReader
 
 use crate::error::TraceError;
 use std::io::{Read, Write};
@@ -39,8 +77,20 @@ use std::io::{Read, Write};
 /// File magic.
 pub const MAGIC: [u8; 8] = *b"DMTTRACE";
 
-/// Current format version.
+/// Format version for unchunked (streaming-only) traces.
 pub const VERSION: u16 = 1;
+
+/// Format version for chunked (seekable) traces.
+pub const VERSION_CHUNKED: u16 = 2;
+
+/// Footer magic closing a chunked trace.
+pub const INDEX_MAGIC: [u8; 8] = *b"DMTIDX01";
+
+/// Bytes per chunk index record.
+pub const INDEX_RECORD_BYTES: u64 = 32;
+
+/// Bytes of the chunked-trace footer.
+pub const FOOTER_BYTES: u64 = 32;
 
 /// End-of-trace marker token.
 pub const TOKEN_END: u128 = 0;
@@ -80,6 +130,49 @@ impl TraceHash {
     /// The digest so far.
     pub fn digest(&self) -> u64 {
         self.0
+    }
+}
+
+/// FNV-1a 64-bit over raw bytes (used for the chunk index checksum).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// One record of a chunked trace's index: where a chunk's tokens live,
+/// which accesses it holds, and their checksum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkIndexEntry {
+    /// File offset of the chunk's first token byte.
+    pub offset: u64,
+    /// Ordinal of the chunk's first access (`i * chunk_len`).
+    pub start: u64,
+    /// Accesses in the chunk (`chunk_len`, except possibly the last).
+    pub len: u64,
+    /// FNV-1a digest over the chunk's accesses.
+    pub hash: u64,
+}
+
+impl ChunkIndexEntry {
+    /// Append the 32-byte LE record.
+    pub fn write_to(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.offset.to_le_bytes());
+        out.extend_from_slice(&self.start.to_le_bytes());
+        out.extend_from_slice(&self.len.to_le_bytes());
+        out.extend_from_slice(&self.hash.to_le_bytes());
+    }
+
+    /// Parse one 32-byte LE record.
+    pub fn read_from<R: Read>(r: &mut R) -> Result<ChunkIndexEntry, TraceError> {
+        Ok(ChunkIndexEntry {
+            offset: read_u64(r)?,
+            start: read_u64(r)?,
+            len: read_u64(r)?,
+            hash: read_u64(r)?,
+        })
     }
 }
 
@@ -181,6 +274,10 @@ pub struct TraceMeta {
     pub name: String,
     /// The regions the workload mapped.
     pub regions: Vec<TraceRegion>,
+    /// Accesses per chunk for the v2 (seekable) framing; `0` selects
+    /// the v1 unchunked framing, which `write_header` emits
+    /// byte-identically to older writers.
+    pub chunk_len: u64,
 }
 
 impl TraceMeta {
@@ -196,7 +293,20 @@ impl TraceMeta {
                     len: r.len,
                 })
                 .collect(),
+            chunk_len: 0,
         }
+    }
+
+    /// The same metadata with the v2 chunked framing selected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_len` is zero (that value means "v1 framing" and
+    /// must be set by leaving the field alone, not by this method).
+    pub fn chunked(mut self, chunk_len: u64) -> TraceMeta {
+        assert!(chunk_len > 0, "chunk_len must be positive");
+        self.chunk_len = chunk_len;
+        self
     }
 
     /// The recorded regions as simulator [`Region`]s.
@@ -233,7 +343,12 @@ impl TraceMeta {
             return Err(std::io::Error::other("too many regions for header"));
         }
         w.write_all(&MAGIC)?;
-        w.write_all(&VERSION.to_le_bytes())?;
+        let version = if self.chunk_len > 0 {
+            VERSION_CHUNKED
+        } else {
+            VERSION
+        };
+        w.write_all(&version.to_le_bytes())?;
         w.write_all(&0u16.to_le_bytes())?; // flags
         w.write_all(&(name.len() as u16).to_le_bytes())?;
         w.write_all(name)?;
@@ -242,7 +357,12 @@ impl TraceMeta {
             w.write_all(&r.base.to_le_bytes())?;
             w.write_all(&r.len.to_le_bytes())?;
         }
-        Ok(16 + name.len() as u64 + self.regions.len() as u64 * 16)
+        let mut n = 16 + name.len() as u64 + self.regions.len() as u64 * 16;
+        if self.chunk_len > 0 {
+            w.write_all(&self.chunk_len.to_le_bytes())?;
+            n += 8;
+        }
+        Ok(n)
     }
 
     /// Parse and validate a header.
@@ -259,7 +379,7 @@ impl TraceMeta {
             return Err(TraceError::BadMagic(magic));
         }
         let version = read_u16(r)?;
-        if version != VERSION {
+        if version != VERSION && version != VERSION_CHUNKED {
             return Err(TraceError::UnsupportedVersion(version));
         }
         let flags = read_u16(r)?;
@@ -279,7 +399,20 @@ impl TraceMeta {
                 len: read_u64(r)?,
             });
         }
-        Ok(TraceMeta { name, regions })
+        let chunk_len = if version == VERSION_CHUNKED {
+            let cl = read_u64(r)?;
+            if cl == 0 {
+                return Err(TraceError::Corrupt("chunked trace with zero chunk length"));
+            }
+            cl
+        } else {
+            0
+        };
+        Ok(TraceMeta {
+            name,
+            regions,
+            chunk_len,
+        })
     }
 }
 
@@ -377,6 +510,7 @@ mod tests {
                     len: 4096,
                 },
             ],
+            chunk_len: 0,
         };
         let mut buf = Vec::new();
         let n = meta.write_header(&mut buf).unwrap();
@@ -410,6 +544,7 @@ mod tests {
         let meta = TraceMeta {
             name: "x".into(),
             regions: vec![TraceRegion { base: 0, len: 1 }],
+            chunk_len: 0,
         };
         let mut buf = Vec::new();
         meta.write_header(&mut buf).unwrap();
@@ -420,6 +555,88 @@ mod tests {
                 "cut at {cut} gave {r:?}"
             );
         }
+    }
+
+    #[test]
+    fn v2_header_roundtrips_and_v1_is_unchanged() {
+        let v1 = TraceMeta {
+            name: "GUPS".into(),
+            regions: vec![TraceRegion {
+                base: 1 << 30,
+                len: 4096,
+            }],
+            chunk_len: 0,
+        };
+        let mut v1_bytes = Vec::new();
+        let n1 = v1.write_header(&mut v1_bytes).unwrap();
+        // v1 framing (chunk_len == 0) must stay byte-identical to what
+        // pre-v2 writers produced: version field 1, no chunk_len field.
+        assert_eq!(v1_bytes[8..10], VERSION.to_le_bytes());
+        assert_eq!(n1, 16 + 4 + 16);
+
+        let v2 = v1.clone().chunked(512);
+        let mut v2_bytes = Vec::new();
+        let n2 = v2.write_header(&mut v2_bytes).unwrap();
+        assert_eq!(v2_bytes[8..10], VERSION_CHUNKED.to_le_bytes());
+        assert_eq!(n2, n1 + 8);
+        let got = TraceMeta::read_header(&mut v2_bytes.as_slice()).unwrap();
+        assert_eq!(got, v2);
+        assert_eq!(got.chunk_len, 512);
+        // Everything before the version byte and after it (up to the
+        // trailing chunk_len) is shared with v1.
+        assert_eq!(v1_bytes[..8], v2_bytes[..8]);
+        assert_eq!(v1_bytes[10..], v2_bytes[10..v2_bytes.len() - 8]);
+    }
+
+    #[test]
+    fn v2_header_rejects_zero_chunk_len_and_truncation() {
+        let meta = TraceMeta {
+            name: "x".into(),
+            regions: vec![],
+            chunk_len: 7,
+        };
+        let mut buf = Vec::new();
+        meta.write_header(&mut buf).unwrap();
+        // Zero out the chunk_len field.
+        let n = buf.len();
+        buf[n - 8..].fill(0);
+        assert!(matches!(
+            TraceMeta::read_header(&mut buf.as_slice()),
+            Err(TraceError::Corrupt(_))
+        ));
+        // Truncating the chunk_len field reads as a short header.
+        let mut buf = Vec::new();
+        meta.write_header(&mut buf).unwrap();
+        let cut = buf.len() - 3;
+        assert!(matches!(
+            TraceMeta::read_header(&mut &buf[..cut]),
+            Err(TraceError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn chunk_index_entry_roundtrips() {
+        let e = ChunkIndexEntry {
+            offset: 0xdead_beef,
+            start: 4096,
+            len: 512,
+            hash: 0x0123_4567_89ab_cdef,
+        };
+        let mut buf = Vec::new();
+        e.write_to(&mut buf);
+        assert_eq!(buf.len() as u64, INDEX_RECORD_BYTES);
+        assert_eq!(ChunkIndexEntry::read_from(&mut buf.as_slice()).unwrap(), e);
+    }
+
+    #[test]
+    fn fnv1a_matches_streaming_hash() {
+        // The raw-bytes helper and the per-access hash share constants:
+        // hashing an access's wire bytes directly must agree.
+        let mut h = TraceHash::default();
+        h.update(0xabcd, true);
+        let mut bytes = 0xabcdu64.to_le_bytes().to_vec();
+        bytes.push(1);
+        assert_eq!(fnv1a(&bytes), h.digest());
     }
 
     #[test]

@@ -27,6 +27,24 @@ pub enum TraceError {
     },
     /// The trailer checksum disagrees with the decoded records.
     ChecksumMismatch,
+    /// A seekable API ([`TraceFile`]) was used on a version-1 trace,
+    /// which has no chunk index. v1 traces stay readable through the
+    /// streaming [`TraceReader`] only.
+    ///
+    /// [`TraceFile`]: crate::TraceFile
+    /// [`TraceReader`]: crate::TraceReader
+    NotSeekable,
+    /// The chunk index or footer violates the format's geometry
+    /// (missing footer magic, offsets out of range or out of order,
+    /// wrong start ordinals, ...).
+    BadIndex(&'static str),
+    /// The chunk index checksum disagrees with the index bytes.
+    IndexChecksumMismatch,
+    /// A chunk body's checksum disagrees with its index record.
+    ChunkChecksumMismatch {
+        /// Index of the corrupt chunk.
+        chunk: u64,
+    },
 }
 
 impl fmt::Display for TraceError {
@@ -44,6 +62,14 @@ impl fmt::Display for TraceError {
                 "trace count mismatch: trailer says {expected}, decoded {found}"
             ),
             TraceError::ChecksumMismatch => write!(f, "trace checksum mismatch"),
+            TraceError::NotSeekable => {
+                write!(f, "trace has no chunk index (v1); use the streaming reader")
+            }
+            TraceError::BadIndex(what) => write!(f, "corrupt trace index: {what}"),
+            TraceError::IndexChecksumMismatch => write!(f, "trace index checksum mismatch"),
+            TraceError::ChunkChecksumMismatch { chunk } => {
+                write!(f, "trace chunk {chunk} checksum mismatch")
+            }
         }
     }
 }
@@ -88,6 +114,13 @@ mod tests {
                 "says 5, decoded 3",
             ),
             (TraceError::ChecksumMismatch, "checksum"),
+            (TraceError::NotSeekable, "no chunk index"),
+            (TraceError::BadIndex("footer magic"), "footer magic"),
+            (TraceError::IndexChecksumMismatch, "index checksum"),
+            (
+                TraceError::ChunkChecksumMismatch { chunk: 7 },
+                "chunk 7 checksum",
+            ),
         ];
         for (e, needle) in cases {
             assert!(e.to_string().contains(needle), "{e}");

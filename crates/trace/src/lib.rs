@@ -14,9 +14,13 @@
 //! * [`TraceWriter`] — streaming encoder over any sink.
 //! * [`TraceReader`] — fallible streaming decoder (`Iterator<Item =
 //!   Result<Access, TraceError>>`) that verifies the trailer.
-//! * [`capture`] / [`capture_chunked`] / [`capture_to_path`] — capture
-//!   a [`Workload`](dmt_workloads::gen::Workload)'s generated stream
-//!   to a trace.
+//! * [`TraceFile`] — seekable zero-copy (mmap-backed) access to v2
+//!   chunked traces: any chunk decodes independently, which is what
+//!   sharded parallel replay builds on.
+//! * [`capture`] / [`capture_chunked`] / [`capture_to_path`] /
+//!   [`capture_indexed`] — capture a
+//!   [`Workload`](dmt_workloads::gen::Workload)'s generated stream to
+//!   a trace (indexed = v2 seekable framing).
 //!
 //! # Example
 //!
@@ -40,10 +44,14 @@ pub mod capture;
 pub mod codec;
 pub mod error;
 pub mod reader;
+pub mod seek;
 pub mod writer;
 
-pub use capture::{capture, capture_chunked, capture_to_path};
-pub use codec::{TraceMeta, TraceRegion, NAIVE_BYTES_PER_ACCESS};
+pub use capture::{
+    capture, capture_chunked, capture_indexed, capture_indexed_to_path, capture_to_path,
+};
+pub use codec::{ChunkIndexEntry, TraceMeta, TraceRegion, NAIVE_BYTES_PER_ACCESS};
 pub use error::TraceError;
 pub use reader::TraceReader;
+pub use seek::TraceFile;
 pub use writer::{TraceSummary, TraceWriter};

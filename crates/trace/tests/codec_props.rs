@@ -34,6 +34,7 @@ proptest! {
         let meta = TraceMeta {
             name: format!("prop-{name_tag}"),
             regions: vec![TraceRegion { base: region_base, len: region_len }],
+            chunk_len: 0,
         };
         let bytes = encode(&accesses, &meta);
         let reader = TraceReader::new(bytes.as_slice()).unwrap();

@@ -110,6 +110,65 @@ fn parallel_sweep_telemetry_matches_serial() {
 }
 
 #[test]
+fn mmap_and_buffered_trace_readers_are_bit_identical() {
+    // The zero-copy mapped reader and the read-to-Vec fallback must be
+    // indistinguishable: same decoded stream, same per-chunk decode,
+    // same replay results. (On platforms where mmap fails, `open`
+    // itself falls back and the two are trivially equal — the assert on
+    // decoded content is what matters.)
+    let w = Gups {
+        table_bytes: 32 << 20,
+    };
+    let dir = std::env::temp_dir().join(format!("dmt-mmap-selftest-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("gups.dmtt");
+    dmt::trace::capture_indexed_to_path(&w, 6_000, SEED, 250, &path).unwrap();
+    let mapped = dmt::trace::TraceFile::open(&path).unwrap();
+    let buffered = dmt::trace::TraceFile::open_buffered(&path).unwrap();
+    assert!(!buffered.is_mapped());
+    assert_eq!(mapped.read_all().unwrap(), buffered.read_all().unwrap());
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    for c in 0..mapped.chunk_count() {
+        a.clear();
+        b.clear();
+        mapped.decode_chunk(c, &mut a).unwrap();
+        buffered.decode_chunk(c, &mut b).unwrap();
+        assert_eq!(a, b, "chunk {c}");
+    }
+    // Replaying through each source produces identical results.
+    use dmt::sim::shard::ShardSource;
+    let trace = w.trace(6_000, SEED);
+    let setup = dmt::sim::Setup::of_workload(&w, &trace);
+    let runner = Runner::builder().epoch_len(1_000).shards(3).build();
+    let via_map = runner
+        .replay_sharded(
+            dmt::sim::Env::Native,
+            Design::Dmt,
+            false,
+            &setup,
+            ShardSource::File(&mapped),
+            1_000,
+            0,
+        )
+        .unwrap();
+    let via_buf = runner
+        .replay_sharded(
+            dmt::sim::Env::Native,
+            Design::Dmt,
+            false,
+            &setup,
+            ShardSource::File(&buffered),
+            1_000,
+            0,
+        )
+        .unwrap();
+    assert_eq!(via_map.stats, via_buf.stats);
+    assert_eq!(via_map.alloc_hash, via_buf.alloc_hash);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn allocator_hash_distinguishes_designs() {
     // DMT places TEA frames; vanilla has none — the state hash must see
     // the difference (it folds in frame kinds, not just occupancy).

@@ -53,6 +53,51 @@ fn parallel_equals_serial_under_every_hook_combination() {
 }
 
 #[test]
+fn sharded_sweep_parallel_equals_serial_under_every_hook_combination() {
+    // The shards>1 dimension composes with every hook combination:
+    // job-level parallel and serial sweeps both route each cell through
+    // the intra-trace sharded path and must still agree exactly — rows,
+    // stats, telemetry. In-memory traces and disk-spilled (seekable v2)
+    // traces must also agree with each other, since the sharded path
+    // decodes spilled chunks itself.
+    let spill = std::env::temp_dir().join(format!(
+        "dmt-sharded-sweep-selftest-{}",
+        std::process::id()
+    ));
+    let mut cfg = SweepConfig::test();
+    cfg.threads = 4;
+    for telemetry in [false, true] {
+        for oracle in [false, true] {
+            let label = format!("telemetry={telemetry} oracle={oracle} shards=3");
+            let base = || {
+                let b = Runner::builder().telemetry(telemetry).shards(3);
+                if oracle {
+                    b.rig_wrapper(dmt::oracle::wrapper())
+                } else {
+                    b
+                }
+            };
+            let runner = base().build();
+            let par = runner.sweep(&cfg).unwrap();
+            let ser = runner.sweep_serial(&cfg).unwrap();
+            assert_eq!(par.rows.len(), matrix(&cfg).len(), "{label}");
+            for (p, s) in par.rows.iter().zip(&ser.rows) {
+                assert_eq!(p.outcome(), s.outcome(), "{label}: sharded parallel != serial");
+                assert_eq!(p.telemetry, s.telemetry, "{label}: sharded telemetry diverged");
+            }
+            assert!(par.rows.iter().all(|r| r.stats.accesses > 0), "{label}");
+            // Spilled traces replay through TraceFile chunks — same rows.
+            let spilled = base().spill_traces(&spill).build().sweep(&cfg).unwrap();
+            for (p, d) in par.rows.iter().zip(&spilled.rows) {
+                assert_eq!(p.outcome(), d.outcome(), "{label}: spilled sharded != memory");
+                assert_eq!(p.telemetry, d.telemetry, "{label}: spilled telemetry diverged");
+            }
+        }
+    }
+    std::fs::remove_dir_all(&spill).ok();
+}
+
+#[test]
 fn each_trace_materializes_exactly_once() {
     // SweepConfig::test() is 2 benchmarks × 1 THP mode × 2 designs =
     // 4 jobs over 2 unique traces. The old pipeline generated 4 traces;

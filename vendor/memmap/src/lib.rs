@@ -1,0 +1,196 @@
+//! Offline stand-in for the `memmap2` crate.
+//!
+//! Provides read-only whole-file mappings with exactly the surface the
+//! workspace needs: [`Map::of_file`] tries a real `mmap(2)` on unix and
+//! silently falls back to reading the file into an owned `Vec<u8>` when
+//! mapping is unavailable (non-unix targets, empty files, exotic
+//! filesystems). [`Map::read_file`] forces the buffered path so callers can
+//! compare both modes bit-for-bit.
+//!
+//! No external dependencies: the unix path declares the two libc symbols it
+//! needs directly (std already links libc on every unix target).
+
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom};
+use std::ops::Deref;
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+    use std::fs::File;
+    use std::io;
+    use std::os::unix::io::AsRawFd;
+
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+
+    /// An immutable mapping of a whole file. Unmapped on drop.
+    pub struct RawMmap {
+        ptr: *const u8,
+        len: usize,
+    }
+
+    // The mapping is read-only and never aliased mutably.
+    unsafe impl Send for RawMmap {}
+    unsafe impl Sync for RawMmap {}
+
+    impl RawMmap {
+        pub fn of_file(file: &File, len: usize) -> io::Result<Self> {
+            if len == 0 {
+                // mmap(2) rejects zero-length mappings with EINVAL.
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "cannot mmap an empty file",
+                ));
+            }
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(RawMmap {
+                ptr: ptr as *const u8,
+                len,
+            })
+        }
+
+        pub fn as_slice(&self) -> &[u8] {
+            unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+        }
+    }
+
+    impl Drop for RawMmap {
+        fn drop(&mut self) {
+            unsafe {
+                munmap(self.ptr as *mut c_void, self.len);
+            }
+        }
+    }
+}
+
+/// A read-only view of a file's bytes: either a real `mmap` or an owned copy.
+pub enum Map {
+    /// Page-cache-backed mapping (unix only).
+    #[cfg(unix)]
+    Mapped(sys::RawMmap),
+    /// Fallback: the file's bytes read into memory.
+    Owned(Vec<u8>),
+}
+
+impl Map {
+    /// Map `file` read-only, falling back to a buffered read if mapping
+    /// fails or is unsupported on this target.
+    pub fn of_file(file: &File) -> io::Result<Map> {
+        #[cfg(unix)]
+        {
+            let len = file.metadata()?.len();
+            if len <= usize::MAX as u64 {
+                if let Ok(m) = sys::RawMmap::of_file(file, len as usize) {
+                    return Ok(Map::Mapped(m));
+                }
+            }
+        }
+        Self::read_file(file)
+    }
+
+    /// Read `file` into an owned buffer (no mapping), for callers that want
+    /// the buffered mode explicitly.
+    pub fn read_file(file: &File) -> io::Result<Map> {
+        let mut f = file.try_clone()?;
+        f.seek(SeekFrom::Start(0))?;
+        let mut buf = Vec::new();
+        f.read_to_end(&mut buf)?;
+        Ok(Map::Owned(buf))
+    }
+
+    /// True if this view is a real mapping rather than an owned copy.
+    pub fn is_mapped(&self) -> bool {
+        match self {
+            #[cfg(unix)]
+            Map::Mapped(_) => true,
+            Map::Owned(_) => false,
+        }
+    }
+}
+
+impl Deref for Map {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        match self {
+            #[cfg(unix)]
+            Map::Mapped(m) => m.as_slice(),
+            Map::Owned(v) => v,
+        }
+    }
+}
+
+impl From<Vec<u8>> for Map {
+    fn from(v: Vec<u8>) -> Map {
+        Map::Owned(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmp(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let p = std::env::temp_dir().join(format!("memmap-standin-{name}-{}", std::process::id()));
+        let mut f = File::create(&p).unwrap();
+        f.write_all(bytes).unwrap();
+        p
+    }
+
+    #[test]
+    fn mapped_and_owned_agree() {
+        let p = tmp("agree", b"hello mapping world");
+        let f = File::open(&p).unwrap();
+        let mapped = Map::of_file(&f).unwrap();
+        let owned = Map::read_file(&f).unwrap();
+        assert_eq!(&*mapped, b"hello mapping world");
+        assert_eq!(&*mapped, &*owned);
+        #[cfg(unix)]
+        assert!(mapped.is_mapped());
+        assert!(!owned.is_mapped());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn empty_file_falls_back_to_owned() {
+        let p = tmp("empty", b"");
+        let f = File::open(&p).unwrap();
+        let m = Map::of_file(&f).unwrap();
+        assert!(m.is_empty());
+        assert!(!m.is_mapped());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn from_vec_is_owned() {
+        let m = Map::from(vec![1u8, 2, 3]);
+        assert_eq!(&*m, &[1, 2, 3]);
+        assert!(!m.is_mapped());
+    }
+}
