@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use dmt_bench::{bench_scale, print_geomeans};
 use dmt_sim::experiments::fig14;
-use dmt_sim::engine::run;
+use dmt_sim::runner::Runner;
 use dmt_sim::native_rig::NativeRig;
 use dmt_sim::rig::{Design, Rig};
 use dmt_cache::hierarchy::MemoryHierarchy;
@@ -25,7 +25,7 @@ fn bench(c: &mut Criterion) {
     group.sample_size(20);
     for design in [Design::Vanilla, Design::Fpt, Design::Ecpt, Design::Asap, Design::Dmt] {
         let mut rig = NativeRig::new(design, false, &w, &trace).unwrap();
-        run(&mut rig, &trace, 0);
+        Runner::builder().build().replay(&mut rig, &trace, 0);
         let mut hier = MemoryHierarchy::default();
         let mut i = 0usize;
         group.bench_function(design.name(), |b| {

@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use dmt_bench::bench_scale;
 use dmt_sim::experiments::fig4;
-use dmt_sim::engine::run;
+use dmt_sim::runner::Runner;
 use dmt_sim::native_rig::NativeRig;
 use dmt_sim::nested_rig::NestedRig;
 use dmt_sim::virt_rig::VirtRig;
@@ -45,7 +45,7 @@ fn bench(c: &mut Criterion) {
     group.sample_size(20);
     {
         let mut rig = NativeRig::new(Design::Vanilla, false, &w, &trace).unwrap();
-        run(&mut rig, &trace, 0);
+        Runner::builder().build().replay(&mut rig, &trace, 0);
         let mut hier = MemoryHierarchy::default();
         let mut i = 0usize;
         group.bench_function("native_radix", |b| {
@@ -58,7 +58,7 @@ fn bench(c: &mut Criterion) {
     }
     {
         let mut rig = VirtRig::new(Design::Vanilla, false, &w, &trace).unwrap();
-        run(&mut rig, &trace, 0);
+        Runner::builder().build().replay(&mut rig, &trace, 0);
         let mut hier = MemoryHierarchy::default();
         let mut i = 0usize;
         group.bench_function("virt_2d_walk", |b| {
@@ -71,7 +71,7 @@ fn bench(c: &mut Criterion) {
     }
     {
         let mut rig = NestedRig::new(Design::Vanilla, false, &w, &trace).unwrap();
-        run(&mut rig, &trace, 0);
+        Runner::builder().build().replay(&mut rig, &trace, 0);
         let mut hier = MemoryHierarchy::default();
         let mut i = 0usize;
         group.bench_function("nested_2d_over_spt", |b| {

@@ -3,7 +3,7 @@
 //! virtualized machine.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dmt_sim::engine::run;
+use dmt_sim::runner::Runner;
 use dmt_sim::rig::{Design, Env, Rig};
 use dmt_sim::virt_rig::VirtRig;
 use dmt_sim::experiments::table6;
@@ -32,7 +32,7 @@ fn bench(c: &mut Criterion) {
     for design in [Design::Vanilla, Design::Fpt, Design::Ecpt, Design::Dmt, Design::PvDmt] {
         let mut rig = VirtRig::new(design, false, &w, &trace).unwrap();
         // Warm all structures.
-        run(&mut rig, &trace, 0);
+        Runner::builder().build().replay(&mut rig, &trace, 0);
         assert!(design.available_in(Env::Virt));
         let mut hier = MemoryHierarchy::default();
         let mut i = 0usize;

@@ -1,13 +1,13 @@
 //! Measure the batched engine against the scalar reference and record
 //! the trajectory: replays the harness slice (see
 //! [`dmt_bench::harness`]), prints a per-cell summary, and writes
-//! `BENCH_7.json` (schema `dmt-bench-v1`) into the output directory
+//! `BENCH_9.json` (schema `dmt-bench-v1`) into the output directory
 //! (first CLI argument, default the current directory).
 //!
 //! `DMT_FULL=1` runs the paper-regime scale; the default is the reduced
 //! test scale CI uses.
 
-use dmt_bench::harness::{git_commit, report_json, run_harness};
+use dmt_bench::harness::{check_dmt_regression, git_commit, report_json, run_harness};
 
 fn main() {
     let out_dir = std::env::args()
@@ -39,11 +39,30 @@ fn main() {
         );
     }
     let json = report_json(&results, scale, &git_commit());
-    match json.write_json_in(std::path::Path::new(&out_dir), "BENCH_7") {
+    match json.write_json_in(std::path::Path::new(&out_dir), "BENCH_9") {
         Ok(path) => println!("wrote {}", path.display()),
         Err(e) => {
-            eprintln!("perf_harness: writing BENCH_7.json: {e}");
+            eprintln!("perf_harness: writing BENCH_9.json: {e}");
             std::process::exit(1);
         }
+    }
+
+    // Regression gate: the DMT cells' batch ratios must not collapse
+    // below the committed baseline trajectory (tolerance is deliberately
+    // loose — CI timings are noisy; see DESIGN.md §13).
+    let baseline = std::env::var("DMT_BENCH_BASELINE").unwrap_or_else(|_| "BENCH_7.json".into());
+    let tolerance: f64 = std::env::var("DMT_BENCH_TOLERANCE")
+        .ok()
+        .and_then(|t| t.parse().ok())
+        .unwrap_or(0.6);
+    match std::fs::read_to_string(&baseline) {
+        Ok(text) => match check_dmt_regression(&results, &text, tolerance) {
+            Ok(()) => println!("regression gate vs {baseline}: ok (floor {tolerance}x of baseline)"),
+            Err(e) => {
+                eprintln!("perf_harness: {e}");
+                std::process::exit(1);
+            }
+        },
+        Err(_) => eprintln!("perf_harness: no baseline at {baseline}; skipping regression gate"),
     }
 }

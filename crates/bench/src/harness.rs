@@ -6,7 +6,7 @@
 //! [`RunStats`] (the hard correctness gate) before reporting wall-clock
 //! replay throughput, and replays once more under telemetry for the
 //! walk/data latency percentiles. The report serializes as schema
-//! `dmt-bench-v1` (`BENCH_7.json`): all simulation-derived fields are
+//! `dmt-bench-v1` (`BENCH_9.json`): all simulation-derived fields are
 //! deterministic; only the `*_ns`/throughput timing fields vary run to
 //! run, which `tests/bench_harness.rs` pins.
 
@@ -14,7 +14,7 @@ use dmt_sim::engine::RunStats;
 use dmt_sim::experiments::{scaled_benchmark, Scale};
 use dmt_sim::report::Json;
 use dmt_sim::rig::{Design, Env, Setup};
-use dmt_sim::{Runner, SimError};
+use dmt_sim::{Engine, Runner, SimError};
 use std::time::Instant;
 
 /// One harness cell: an (environment, design, benchmark) triple.
@@ -123,7 +123,7 @@ pub fn run_cell(cell: HarnessCell, scale: Scale, repeats: usize) -> Result<CellR
     let trace = w.trace(scale.total(), 0xD317 ^ cell.design as u64);
     let setup = Setup::of_workload(w.as_ref(), &trace);
 
-    let scalar = Runner::builder().scalar_engine(true).build();
+    let scalar = Runner::builder().engine(Engine::Scalar).build();
     let batched = Runner::builder().build();
     let (s_stats, scalar_ns) = time_replays(&scalar, cell, &setup, &trace, scale.warmup, repeats)?;
     let (b_stats, batched_ns) = time_replays(&batched, cell, &setup, &trace, scale.warmup, repeats)?;
@@ -230,6 +230,69 @@ pub fn report_json(results: &[CellResult], scale: Scale, commit: &str) -> Json {
                     .collect(),
             ),
         )
+}
+
+/// `(env, design, speedup)` rows scraped from a committed
+/// `dmt-bench-v1` report — the regression-gate baseline. The scraper
+/// leans on our own serializer's stable field order (`env`, `design`,
+/// ..., `speedup` within each cell) instead of pulling in a JSON
+/// parser.
+pub fn baseline_speedups(json: &str) -> Vec<(String, String, f64)> {
+    fn field<'a>(rest: &'a str, key: &str) -> Option<(&'a str, &'a str)> {
+        let i = rest.find(key)? + key.len();
+        let rest = &rest[i..];
+        let end = rest.find(['"', ',', '\n', '}'])?;
+        Some((rest[..end].trim(), &rest[end..]))
+    }
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some((env, r)) = field(rest, "\"env\": \"") {
+        let Some((design, r)) = field(r, "\"design\": \"") else { break };
+        let Some((speedup, r)) = field(r, "\"speedup\": ") else { break };
+        if let Ok(v) = speedup.parse::<f64>() {
+            out.push((env.to_string(), design.to_string(), v));
+        }
+        rest = r;
+    }
+    out
+}
+
+/// The CI regression gate: every DMT cell's batched-over-scalar ratio
+/// must reach `tolerance ×` the committed baseline's ratio for the same
+/// `(env, design)`. The default tolerance sits well below 1.0 because
+/// shared CI runners make absolute timings noisy — the gate catches a
+/// collapsed fast path, not a few percent of jitter.
+///
+/// # Errors
+///
+/// [`SimError::Setup`] naming the first regressed cell.
+pub fn check_dmt_regression(
+    results: &[CellResult],
+    baseline: &str,
+    tolerance: f64,
+) -> Result<(), SimError> {
+    let base = baseline_speedups(baseline);
+    for r in results {
+        if r.design != Design::Dmt {
+            continue;
+        }
+        let Some((_, _, was)) = base
+            .iter()
+            .find(|(e, d, _)| e == r.env.name() && d == r.design.name())
+        else {
+            continue;
+        };
+        let now = r.speedup();
+        if now < was * tolerance {
+            return Err(SimError::Setup(format!(
+                "batch ratio regressed in {}/{}: {now:.2}x vs committed {was:.2}x (floor {:.2}x)",
+                r.env.name(),
+                r.design.name(),
+                was * tolerance
+            )));
+        }
+    }
+    Ok(())
 }
 
 /// The current git commit, or `"unknown"` outside a repository.

@@ -109,6 +109,13 @@ pub struct Tlb {
     l1_2m: SetAssoc,
     l1_1g: SetAssoc,
     stlb: SetAssoc,
+    /// Resident STLB entries per page size (indexed by
+    /// [`PageSize::encode`]). The L1 arrays are size-segregated so their
+    /// `occupied` counters already answer "any entry of this size?"; the
+    /// shared STLB needs this breakdown so the block probe can skip
+    /// whole per-size passes over a block when no entry of that size is
+    /// resident (the common case: most workloads touch one page size).
+    stlb_residency: [u64; 3],
     stats: TlbStats,
     asid: u16,
 }
@@ -122,6 +129,7 @@ impl Tlb {
             l1_2m: l1(),
             l1_1g: l1(),
             stlb: SetAssoc::with_capacity(config.stlb_entries, config.stlb_ways),
+            stlb_residency: [0; 3],
             stats: TlbStats::default(),
             asid: 0,
         }
@@ -177,12 +185,7 @@ impl Tlb {
     pub fn flush_asid(&mut self, asid: u16) -> u64 {
         let tag = (asid as u64) << ASID_SHIFT;
         let mut n = 0u64;
-        for arr in [
-            &mut self.l1_4k,
-            &mut self.l1_2m,
-            &mut self.l1_1g,
-            &mut self.stlb,
-        ] {
+        for arr in [&mut self.l1_4k, &mut self.l1_2m, &mut self.l1_1g] {
             let victims: Vec<u64> = arr
                 .keys()
                 .filter(|k| k & !KEY_MASK == tag)
@@ -191,6 +194,21 @@ impl Tlb {
                 if arr.invalidate(key) {
                     n += 1;
                 }
+            }
+        }
+        // The STLB pass additionally retires each victim's size from the
+        // residency breakdown (the size tag travels in the key's low bits).
+        let victims: Vec<u64> = self
+            .stlb
+            .keys()
+            .filter(|k| k & !KEY_MASK == tag)
+            .collect();
+        for key in victims {
+            if self.stlb.invalidate(key) {
+                let size =
+                    PageSize::decode((key & 3) as u8).expect("STLB keys carry a valid size tag");
+                self.stlb_residency[size.encode() as usize] -= 1;
+                n += 1;
             }
         }
         n
@@ -252,11 +270,56 @@ impl Tlb {
             }
         }
         for size in [PageSize::Size1G, PageSize::Size2M, PageSize::Size4K] {
+            if self.stlb_residency[size.encode() as usize] == 0 {
+                continue;
+            }
             if self.stlb.contains(self.stlb_key(va, size)) {
                 return true;
             }
         }
         false
+    }
+
+    /// Residency probe over a whole block of addresses: `hits[i]` is set
+    /// to exactly what `probe_any(vas[i])` would return, without touching
+    /// LRU state or counters. Equivalent to a loop of
+    /// [`probe_any`](Self::probe_any) calls, but structured
+    /// structure-major so each per-size pass is skipped outright when the
+    /// array holds no entry of that size (`occupied` masks for the L1
+    /// arrays, the per-size residency breakdown for the shared STLB) —
+    /// the batched engine's block scan spends most of its probes in
+    /// passes this eliminates.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `vas` and `hits` differ in length.
+    pub fn probe_block(&self, vas: &[VirtAddr], hits: &mut [bool]) {
+        debug_assert_eq!(vas.len(), hits.len());
+        hits.fill(false);
+        for size in [PageSize::Size1G, PageSize::Size2M, PageSize::Size4K] {
+            let arr = self.l1_ref(size);
+            if arr.occupancy() == 0 {
+                continue;
+            }
+            for (i, &va) in vas.iter().enumerate() {
+                if !hits[i] && arr.contains(self.l1_key(va, size)) {
+                    hits[i] = true;
+                }
+            }
+        }
+        if self.stlb.occupancy() == 0 {
+            return;
+        }
+        for size in [PageSize::Size1G, PageSize::Size2M, PageSize::Size4K] {
+            if self.stlb_residency[size.encode() as usize] == 0 {
+                continue;
+            }
+            for (i, &va) in vas.iter().enumerate() {
+                if !hits[i] && self.stlb.contains(self.stlb_key(va, size)) {
+                    hits[i] = true;
+                }
+            }
+        }
     }
 
     /// Hint the host CPU to pull the set storage every probe of `va`
@@ -295,7 +358,18 @@ impl Tlb {
         let key = self.l1_key(va, size);
         let skey = self.stlb_key(va, size);
         self.l1_for(size).insert(key);
-        self.stlb.insert(skey);
+        // `insert` returns None both on a refresh and on a fill into an
+        // empty way; a read-only pre-probe disambiguates the two so the
+        // per-size residency stays exact.
+        let new_entry = !self.stlb.contains(skey);
+        if let Some(victim) = self.stlb.insert(skey) {
+            let vsize =
+                PageSize::decode((victim & 3) as u8).expect("STLB keys carry a valid size tag");
+            self.stlb_residency[vsize.encode() as usize] -= 1;
+            self.stlb_residency[size.encode() as usize] += 1;
+        } else if new_entry {
+            self.stlb_residency[size.encode() as usize] += 1;
+        }
     }
 
     /// Invalidate one translation (e.g. on `munmap` or PTE change).
@@ -303,7 +377,9 @@ impl Tlb {
         let key = self.l1_key(va, size);
         let skey = self.stlb_key(va, size);
         self.l1_for(size).invalidate(key);
-        self.stlb.invalidate(skey);
+        if self.stlb.invalidate(skey) {
+            self.stlb_residency[size.encode() as usize] -= 1;
+        }
     }
 
     /// Full flush (context switch without ASIDs / TLB shootdown).
@@ -312,6 +388,7 @@ impl Tlb {
         self.l1_2m.flush();
         self.l1_1g.flush();
         self.stlb.flush();
+        self.stlb_residency = [0; 3];
     }
 
     /// Every resident translation as `(page base VA, size)`, deduplicated
@@ -560,6 +637,61 @@ mod tests {
         assert!(t.lookup_any(VirtAddr(0x1000)).is_none());
         t.set_asid(0);
         assert!(t.lookup_any(VirtAddr(0x1000)).is_some());
+    }
+
+    #[test]
+    fn probe_block_matches_probe_any_and_lookup_any() {
+        let mut t = Tlb::new(TlbConfig::tiny());
+        // Mixed sizes, L1/STLB evictions, an invalidation, a refresh and
+        // an ASID flush: every residency transition the counters track.
+        for i in 0..6u64 {
+            t.fill(VirtAddr(i * 2 * 4096), PageSize::Size4K);
+        }
+        t.fill(VirtAddr(0x20_0000), PageSize::Size2M);
+        t.fill(VirtAddr(0x20_0000), PageSize::Size2M); // refresh
+        t.fill(VirtAddr(0x4000_0000), PageSize::Size1G);
+        t.invalidate(VirtAddr(0x20_0000), PageSize::Size2M);
+        t.set_asid(3);
+        t.fill(VirtAddr(0x9000), PageSize::Size4K);
+        t.set_asid(0);
+        t.flush_asid(3);
+        let vas: Vec<VirtAddr> = (0..16u64)
+            .map(|i| VirtAddr(i * 4096))
+            .chain([VirtAddr(0x20_0000), VirtAddr(0x4000_0000), VirtAddr(0x9000)])
+            .collect();
+        let mut hits = vec![true; vas.len()];
+        let stats_before = t.stats();
+        t.probe_block(&vas, &mut hits);
+        assert_eq!(t.stats(), stats_before, "probe_block must not count");
+        for (i, &va) in vas.iter().enumerate() {
+            assert_eq!(hits[i], t.probe_any(va), "element {i} vs probe_any");
+            // lookup_any ignores the residency breakdown entirely, so a
+            // stale counter that hides a resident size would split these.
+            assert_eq!(
+                hits[i],
+                t.clone().lookup_any(va).is_some(),
+                "element {i} vs lookup_any"
+            );
+        }
+        assert!(hits.iter().any(|&h| h));
+        assert!(hits.iter().any(|&h| !h));
+    }
+
+    #[test]
+    fn probe_block_on_an_empty_and_flushed_tlb() {
+        let mut t = Tlb::new(TlbConfig::tiny());
+        let vas: Vec<VirtAddr> = (0..64u64).map(|i| VirtAddr(i * 4096)).collect();
+        let mut hits = vec![true; vas.len()];
+        t.probe_block(&vas, &mut hits);
+        assert!(hits.iter().all(|&h| !h), "empty TLB hits nothing");
+        // Overflow the tiny STLB so evictions retire victim sizes, then
+        // flush: the residency reset must leave no phantom entries.
+        for &va in &vas {
+            t.fill(va, PageSize::Size4K);
+        }
+        t.flush();
+        t.probe_block(&vas, &mut hits);
+        assert!(hits.iter().all(|&h| !h), "flush cleared everything");
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! levels nested — a walk starts in the shadow table and switches to 2D
 //! at the configured level (virtualized only).
 
-use super::VirtTranslator;
+use super::{VirtBackend, VirtTranslator};
 use crate::registry::{Registration, VirtSpec};
 use crate::rig::{Design, Setup, Translation};
 use dmt_baselines::agile::{agile_sync_events, agile_walk, guest_entry_chain};
@@ -29,12 +29,12 @@ fn build_virt(
     _m: &mut VirtMachine,
     _setup: &Setup,
     _arena: Option<crate::registry::Arena>,
-) -> Result<Box<dyn VirtTranslator>, crate::error::SimError> {
-    Ok(Box::new(VirtAgile))
+) -> Result<VirtBackend, crate::error::SimError> {
+    Ok(VirtBackend::Agile(VirtAgile))
 }
 
 /// Shadow-then-nested hybrid walk.
-struct VirtAgile;
+pub struct VirtAgile;
 
 impl VirtTranslator for VirtAgile {
     fn translate(

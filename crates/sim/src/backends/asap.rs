@@ -2,7 +2,7 @@
 //! over the unchanged radix walk, with the timeliness-limited overlap
 //! applied to the leaf fetch.
 
-use super::{NativeMachine, NativeTranslator, VirtTranslator};
+use super::{NativeBackend, NativeMachine, NativeTranslator, VirtBackend, VirtTranslator};
 use crate::error::SimError;
 use crate::registry::{Arena, NativeSpec, Registration, VirtSpec};
 use crate::rig::{Design, Setup, Translation};
@@ -32,7 +32,7 @@ pub(crate) const REGISTRATION: Registration = Registration {
 fn build_native(
     m: &mut NativeMachine,
     _setup: &Setup,
-) -> Result<Box<dyn NativeTranslator>, SimError> {
+) -> Result<NativeBackend, SimError> {
     let l1: Vec<_> = m
         .proc_
         .mappings()
@@ -47,7 +47,7 @@ fn build_native(
         .filter(|v| v.mapping.page_size() == PageSize::Size2M)
         .map(|v| v.mapping)
         .collect();
-    Ok(Box::new(NativeAsap {
+    Ok(NativeBackend::Asap(NativeAsap {
         asap: AsapPrefetcher::new(l1, l2),
         stats: AsapStats::default(),
     }))
@@ -57,7 +57,7 @@ fn build_virt(
     m: &mut VirtMachine,
     _setup: &Setup,
     _arena: Option<Arena>,
-) -> Result<Box<dyn VirtTranslator>, SimError> {
+) -> Result<VirtBackend, SimError> {
     let l1: Vec<_> = m
         .guest_mappings()
         .iter()
@@ -70,14 +70,14 @@ fn build_virt(
         .filter(|g| g.page_size() == PageSize::Size2M)
         .copied()
         .collect();
-    Ok(Box::new(VirtAsap {
+    Ok(VirtBackend::Asap(VirtAsap {
         asap: AsapPrefetcher::new(l1, l2),
         stats: AsapStats::default(),
     }))
 }
 
 /// Radix walk with perfectly timely prefetches into L2.
-struct NativeAsap {
+pub struct NativeAsap {
     asap: AsapPrefetcher,
     stats: AsapStats,
 }
@@ -129,7 +129,7 @@ impl NativeTranslator for NativeAsap {
 }
 
 /// 2D walk with guest-dimension prefetches.
-struct VirtAsap {
+pub struct VirtAsap {
     asap: AsapPrefetcher,
     stats: AsapStats,
 }

@@ -1,7 +1,7 @@
 //! DMT: direct memory translation via register-file-resident TEA
 //! mappings, falling back to the hardware walker for uncovered VAs.
 //! Natively pvDMT is identical to DMT, so [`pvdmt`](super::pvdmt)
-//! reuses [`build_native`] verbatim.
+//! wraps the same [`NativeDmt`] state in its own enum variant.
 //!
 //! Both backends override `translate_batch` with allocation-free fast
 //! paths: the native fetch goes through
@@ -12,10 +12,10 @@
 //! outcomes and counters stay bit-identical to the scalar path
 //! (DESIGN.md §13).
 
-use super::{NativeMachine, NativeTranslator, VirtTranslator};
+use super::{NativeBackend, NativeMachine, NativeTranslator, VirtBackend, VirtTranslator};
 use crate::error::SimError;
 use crate::registry::{Arena, NativeSpec, Registration, VirtSpec};
-use crate::rig::{pte_delta, Design, Outcome, Setup, Translation};
+use crate::rig::{pte_delta, Design, OutcomeRows, Setup, Translation};
 use dmt_cache::hierarchy::MemoryHierarchy;
 use dmt_core::{fetcher, DmtError};
 use dmt_mem::{PhysAddr, VirtAddr};
@@ -38,13 +38,12 @@ pub(crate) const REGISTRATION: Registration = Registration {
     nested: None,
 };
 
-/// The stock native DMT backend (PWC-assisted fallback walks). Shared
-/// with pvDMT's native registration.
-pub(crate) fn build_native(
+/// The stock native DMT backend (PWC-assisted fallback walks).
+fn build_native(
     _m: &mut NativeMachine,
     _setup: &Setup,
-) -> Result<Box<dyn NativeTranslator>, SimError> {
-    Ok(Box::new(NativeDmt::new(true)))
+) -> Result<NativeBackend, SimError> {
+    Ok(NativeBackend::Dmt(NativeDmt::new(true)))
 }
 
 /// The DESIGN.md §11 worked example: a DMT variant whose fallback walks
@@ -64,8 +63,8 @@ fn build_virt(
     _m: &mut VirtMachine,
     _setup: &Setup,
     _arena: Option<Arena>,
-) -> Result<Box<dyn VirtTranslator>, SimError> {
-    Ok(Box::new(VirtDmt {
+) -> Result<VirtBackend, SimError> {
+    Ok(VirtBackend::Dmt(VirtDmt {
         fetch_hits: 0,
         fallbacks: 0,
     }))
@@ -81,7 +80,7 @@ fn coverage(fetch_hits: u64, fallbacks: u64) -> f64 {
 }
 
 /// Register-file fetch with hardware-walk fallback.
-struct NativeDmt {
+pub struct NativeDmt {
     fetch_hits: u64,
     fallbacks: u64,
     /// Whether fallback walks get the PWC (false only in the
@@ -92,7 +91,7 @@ struct NativeDmt {
 }
 
 impl NativeDmt {
-    fn new(fallback_pwc: bool) -> Self {
+    pub(crate) fn new(fallback_pwc: bool) -> Self {
         NativeDmt {
             fetch_hits: 0,
             fallbacks: 0,
@@ -154,7 +153,7 @@ impl NativeTranslator for NativeDmt {
         m: &mut NativeMachine,
         accesses: &[Access],
         hier: &mut MemoryHierarchy,
-        out: &mut [Outcome],
+        out: &mut OutcomeRows<'_>,
     ) {
         // The run is processed in two phases per chunk.
         //
@@ -176,7 +175,8 @@ impl NativeTranslator for NativeDmt {
         // host caches between the two phases.
         const CHUNK: usize = 16;
         let mut resolved = std::mem::take(&mut self.resolved);
-        for (accesses, out) in accesses.chunks(CHUNK).zip(out.chunks_mut(CHUNK)) {
+        for (c, accesses) in accesses.chunks(CHUNK).enumerate() {
+            let base = c * CHUNK;
             resolved.clear();
             for a in accesses {
                 let r = fetcher::resolve_native(&m.regs, &mut m.pm, a.va);
@@ -186,16 +186,17 @@ impl NativeTranslator for NativeDmt {
                 }
                 resolved.push(r);
             }
-            for ((a, o), r) in accesses.iter().zip(out.iter_mut()).zip(resolved.iter()) {
+            for (k, (a, r)) in accesses.iter().zip(resolved.iter()).enumerate() {
+                let i = base + k;
                 let tr = match *r {
                     fetcher::Resolve::Hit { slot, pte, size } => {
                         self.fetch_hits += 1;
                         // The fetch's only charge is this one slot
-                        // access, so the PTE-charge vector is one-hot
-                        // at its hit level — no stats diff needed.
+                        // access, so the PTE-charge matrix gets a
+                        // one-hot write at its hit level (the block
+                        // starts zeroed) — no stats diff needed.
                         let (level, cycles) = hier.access(slot.raw());
-                        o.pte = [0; 4];
-                        o.pte[level as usize] = 1;
+                        out.set_pte_onehot(i, level as usize);
                         Translation {
                             pa: PhysAddr(pte.phys_addr().raw() + a.va.offset_in(size)),
                             size,
@@ -207,7 +208,7 @@ impl NativeTranslator for NativeDmt {
                     fetcher::Resolve::NotCovered => {
                         let before = hier.stats();
                         let tr = self.fallback_walk(m, a.va, hier);
-                        o.pte = pte_delta(before, hier.stats());
+                        out.set_pte(i, pte_delta(before, hier.stats()));
                         tr
                     }
                     fetcher::Resolve::NotPresent { .. } => {
@@ -220,9 +221,8 @@ impl NativeTranslator for NativeDmt {
                 // The translation *is* the data mapping: reuse its PA
                 // instead of scalar's redundant software radix walk.
                 let (level, cycles) = hier.access(tr.pa.raw());
-                o.tr = tr;
-                o.data_level = level;
-                o.data_cycles = cycles;
+                out.set_translation(i, &tr);
+                out.set_data(i, level, cycles);
             }
         }
         self.resolved = resolved;
@@ -235,7 +235,7 @@ impl NativeTranslator for NativeDmt {
 
 /// Guest-TEA fetch with 2D-walk fallback (unparavirtualized: guest
 /// TEAs are contiguous only in guest physical memory).
-struct VirtDmt {
+pub struct VirtDmt {
     fetch_hits: u64,
     fallbacks: u64,
 }
@@ -289,20 +289,19 @@ impl VirtTranslator for VirtDmt {
         m: &mut VirtMachine,
         accesses: &[Access],
         hier: &mut MemoryHierarchy,
-        out: &mut [Outcome],
+        out: &mut OutcomeRows<'_>,
     ) {
         // The unparavirtualized fetch allocates internally either way;
         // the batched win here is reusing the translated host PA for
         // the data access instead of scalar's full 2D software
         // translation per element.
-        for (a, o) in accesses.iter().zip(out.iter_mut()) {
+        for (i, a) in accesses.iter().enumerate() {
             let before = hier.stats();
             let tr = self.translate_one(m, a.va, hier);
-            o.pte = pte_delta(before, hier.stats());
+            out.set_pte(i, pte_delta(before, hier.stats()));
             let (level, cycles) = hier.access(tr.pa.raw());
-            o.tr = tr;
-            o.data_level = level;
-            o.data_cycles = cycles;
+            out.set_translation(i, &tr);
+            out.set_data(i, level, cycles);
         }
     }
 

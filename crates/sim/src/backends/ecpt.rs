@@ -2,7 +2,10 @@
 //! place of the radix walk. Virtualized, guest and host each get an
 //! ECPT; guest tables come from the boot-time contiguous arena.
 
-use super::{backed_chunks, collect_guest_mappings, NativeMachine, NativeTranslator, VirtTranslator};
+use super::{
+    backed_chunks, collect_guest_mappings, NativeBackend, NativeMachine, NativeTranslator,
+    VirtBackend, VirtTranslator,
+};
 use crate::error::SimError;
 use crate::registry::{Arena, NativeSpec, Registration, VirtSpec};
 use crate::rig::{Design, Setup, Translation};
@@ -36,7 +39,7 @@ fn arena_frames(setup: &Setup) -> u64 {
 fn build_native(
     m: &mut NativeMachine,
     setup: &Setup,
-) -> Result<Box<dyn NativeTranslator>, SimError> {
+) -> Result<NativeBackend, SimError> {
     let mappings = m.collect_mappings(&setup.pages)?;
     let n2m = mappings
         .iter()
@@ -53,17 +56,17 @@ fn build_native(
     for (va, pa, size) in mappings {
         t.map(&mut m.pm, va, pa, size).map_err(SimError::setup)?;
     }
-    Ok(Box::new(NativeEcpt { ecpt: t }))
+    Ok(NativeBackend::Ecpt(NativeEcpt { ecpt: t }))
 }
 
 fn build_virt(
     m: &mut VirtMachine,
     setup: &Setup,
     arena: Option<Arena>,
-) -> Result<Box<dyn VirtTranslator>, SimError> {
+) -> Result<VirtBackend, SimError> {
     let arena = arena.expect("registry carves an ECPT arena");
     let necpt = build_ecpts(m, &setup.pages, arena.base, arena.frames)?;
-    Ok(Box::new(VirtEcpt { necpt }))
+    Ok(VirtBackend::Ecpt(VirtEcpt { necpt }))
 }
 
 /// Build guest + host ECPTs.
@@ -114,7 +117,7 @@ fn build_ecpts(
 }
 
 /// Hashed lookup in the host ECPT.
-struct NativeEcpt {
+pub struct NativeEcpt {
     ecpt: Ecpt,
 }
 
@@ -142,7 +145,7 @@ impl NativeTranslator for NativeEcpt {
 
 /// Guest ECPT lookup with each candidate resolved through the host
 /// ECPT.
-struct VirtEcpt {
+pub struct VirtEcpt {
     necpt: NestedEcpt,
 }
 

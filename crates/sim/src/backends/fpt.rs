@@ -3,7 +3,10 @@
 //! grid to ~8 virtualized. The guest tables live in a contiguous arena
 //! carved at boot (the registry's `arena_frames` hook).
 
-use super::{collect_guest_mappings, backed_chunks, NativeMachine, NativeTranslator, VirtTranslator};
+use super::{
+    backed_chunks, collect_guest_mappings, NativeBackend, NativeMachine, NativeTranslator,
+    VirtBackend, VirtTranslator,
+};
 use crate::error::SimError;
 use crate::registry::{Arena, NativeSpec, Registration, VirtSpec};
 use crate::rig::{Design, Setup, Translation};
@@ -36,7 +39,7 @@ fn arena_frames(_setup: &Setup) -> u64 {
 fn build_native(
     m: &mut NativeMachine,
     setup: &Setup,
-) -> Result<Box<dyn NativeTranslator>, SimError> {
+) -> Result<NativeBackend, SimError> {
     let mut t = FlatPageTable::new_host(&mut m.pm).map_err(SimError::setup)?;
     for (va, pa, size) in m.collect_mappings(&setup.pages)? {
         t.map(&mut m.pm, va, pa, size, |pm, frames| {
@@ -44,17 +47,17 @@ fn build_native(
         })
         .map_err(SimError::setup)?;
     }
-    Ok(Box::new(NativeFpt { fpt: t }))
+    Ok(NativeBackend::Fpt(NativeFpt { fpt: t }))
 }
 
 fn build_virt(
     m: &mut VirtMachine,
     setup: &Setup,
     arena: Option<Arena>,
-) -> Result<Box<dyn VirtTranslator>, SimError> {
+) -> Result<VirtBackend, SimError> {
     let arena = arena.expect("registry carves an FPT arena");
     let (gfpt, hfpt) = build_fpts(m, &setup.pages, arena.base, arena.frames)?;
-    Ok(Box::new(VirtFpt { gfpt, hfpt }))
+    Ok(VirtBackend::Fpt(VirtFpt { gfpt, hfpt }))
 }
 
 /// Build the guest FPT (tables in guest physical memory, from a
@@ -95,7 +98,7 @@ fn build_fpts(
 }
 
 /// Two-step flattened walk over the host table.
-struct NativeFpt {
+pub struct NativeFpt {
     fpt: FlatPageTable,
 }
 
@@ -123,7 +126,7 @@ impl NativeTranslator for NativeFpt {
 
 /// Flattened 2D walk: guest FPT steps each resolved through the host
 /// FPT.
-struct VirtFpt {
+pub struct VirtFpt {
     gfpt: FlatPageTable,
     hfpt: FlatPageTable,
 }

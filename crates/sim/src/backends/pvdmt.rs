@@ -1,10 +1,11 @@
 //! pvDMT: DMT with paravirtualized TEA placement — host-allocated,
 //! host-contiguous arrays mediated by hypercalls. Native mode is
-//! identical to plain DMT (the registration reuses its factory); the
-//! virtualized and nested modes add the hypercall-based exit
+//! identical to plain DMT (the factory wraps the same
+//! [`NativeDmt`](super::dmt::NativeDmt) state in the `PvDmt` variant);
+//! the virtualized and nested modes add the hypercall-based exit
 //! accounting.
 
-use super::{NestedTranslator, VirtTranslator};
+use super::{NativeBackend, NativeMachine, NestedBackend, NestedTranslator, VirtBackend, VirtTranslator};
 use crate::error::SimError;
 use crate::registry::{Arena, NativeSpec, NestedSpec, Registration, VirtSpec};
 use crate::rig::{Design, Setup, Translation};
@@ -19,7 +20,7 @@ pub(crate) const REGISTRATION: Registration = Registration {
     // Identical to DMT on bare metal (no hypervisor to paravirtualize).
     native: Some(NativeSpec {
         dmt_managed: true,
-        build: super::dmt::build_native,
+        build: build_native,
     }),
     virt: Some(VirtSpec {
         tea_mode: GuestTeaMode::Pv,
@@ -34,12 +35,20 @@ pub(crate) const REGISTRATION: Registration = Registration {
     }),
 };
 
+/// Natively pvDMT *is* DMT: same state, its own enum variant.
+fn build_native(
+    _m: &mut NativeMachine,
+    _setup: &Setup,
+) -> Result<NativeBackend, SimError> {
+    Ok(NativeBackend::PvDmt(super::dmt::NativeDmt::new(true)))
+}
+
 fn build_virt(
     _m: &mut VirtMachine,
     _setup: &Setup,
     _arena: Option<Arena>,
-) -> Result<Box<dyn VirtTranslator>, SimError> {
-    Ok(Box::new(VirtPvDmt {
+) -> Result<VirtBackend, SimError> {
+    Ok(VirtBackend::PvDmt(VirtPvDmt {
         fetch_hits: 0,
         fallbacks: 0,
     }))
@@ -48,8 +57,8 @@ fn build_virt(
 fn build_nested(
     _m: &mut NestedMachine,
     _setup: &Setup,
-) -> Result<Box<dyn NestedTranslator>, SimError> {
-    Ok(Box::new(NestedPvDmt {
+) -> Result<NestedBackend, SimError> {
+    Ok(NestedBackend::PvDmt(NestedPvDmt {
         fetch_hits: 0,
         fallbacks: 0,
     }))
@@ -65,7 +74,7 @@ fn coverage(fetch_hits: u64, fallbacks: u64) -> f64 {
 }
 
 /// Host-contiguous guest-TEA fetch with 2D-walk fallback.
-struct VirtPvDmt {
+pub struct VirtPvDmt {
     fetch_hits: u64,
     fallbacks: u64,
 }
@@ -113,7 +122,7 @@ impl VirtTranslator for VirtPvDmt {
 }
 
 /// Cascaded pvDMT through both hypervisor levels.
-struct NestedPvDmt {
+pub struct NestedPvDmt {
     fetch_hits: u64,
     fallbacks: u64,
 }

@@ -2,7 +2,7 @@
 //! TLB miss costs one native-length walk — but every guest page-table
 //! update exits to resync (virtualized only; Table 6 N/A elsewhere).
 
-use super::{VirtTranslator};
+use super::{VirtBackend, VirtTranslator};
 use crate::registry::{Registration, VirtSpec};
 use crate::rig::{Design, Setup, Translation};
 use dmt_cache::hierarchy::MemoryHierarchy;
@@ -25,12 +25,12 @@ fn build_virt(
     _m: &mut VirtMachine,
     _setup: &Setup,
     _arena: Option<crate::registry::Arena>,
-) -> Result<Box<dyn VirtTranslator>, crate::error::SimError> {
-    Ok(Box::new(VirtShadow))
+) -> Result<VirtBackend, crate::error::SimError> {
+    Ok(VirtBackend::Shadow(VirtShadow))
 }
 
 /// One-dimensional walk of the hypervisor-maintained shadow table.
-struct VirtShadow;
+pub struct VirtShadow;
 
 impl VirtTranslator for VirtShadow {
     fn translate(

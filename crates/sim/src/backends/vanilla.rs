@@ -8,9 +8,12 @@
 //! operation and `hier.access` charge is still issued — the observable
 //! op sequence is bit-identical to the scalar path (DESIGN.md §13).
 
-use super::{NativeMachine, NativeTranslator, NestedTranslator, VirtTranslator};
+use super::{
+    NativeBackend, NativeMachine, NativeTranslator, NestedBackend, NestedTranslator, VirtBackend,
+    VirtTranslator,
+};
 use crate::registry::{NativeSpec, NestedSpec, Registration, VirtSpec};
-use crate::rig::{pte_delta, Design, Outcome, Setup, Translation};
+use crate::rig::{pte_delta, Design, OutcomeRows, Setup, Translation};
 use dmt_cache::hierarchy::MemoryHierarchy;
 use dmt_mem::VirtAddr;
 use dmt_pgtable::walk::{walk_dimension, walk_dimension_cached, PteMemo, WalkDim};
@@ -42,28 +45,28 @@ pub(crate) const REGISTRATION: Registration = Registration {
 fn build_native(
     _m: &mut NativeMachine,
     _setup: &Setup,
-) -> Result<Box<dyn NativeTranslator>, crate::error::SimError> {
-    Ok(Box::new(NativeVanilla::default()))
+) -> Result<NativeBackend, crate::error::SimError> {
+    Ok(NativeBackend::Vanilla(NativeVanilla::default()))
 }
 
 fn build_virt(
     _m: &mut VirtMachine,
     _setup: &Setup,
     _arena: Option<crate::registry::Arena>,
-) -> Result<Box<dyn VirtTranslator>, crate::error::SimError> {
-    Ok(Box::new(VirtVanilla))
+) -> Result<VirtBackend, crate::error::SimError> {
+    Ok(VirtBackend::Vanilla(VirtVanilla))
 }
 
 fn build_nested(
     _m: &mut NestedMachine,
     _setup: &Setup,
-) -> Result<Box<dyn NestedTranslator>, crate::error::SimError> {
-    Ok(Box::new(NestedVanilla))
+) -> Result<NestedBackend, crate::error::SimError> {
+    Ok(NestedBackend::Vanilla(NestedVanilla))
 }
 
 /// The hardware radix walk through the machine's PWC.
 #[derive(Default)]
-struct NativeVanilla {
+pub struct NativeVanilla {
     memo: PteMemo,
 }
 
@@ -97,9 +100,9 @@ impl NativeTranslator for NativeVanilla {
         m: &mut NativeMachine,
         accesses: &[Access],
         hier: &mut MemoryHierarchy,
-        out: &mut [Outcome],
+        out: &mut OutcomeRows<'_>,
     ) {
-        for (a, o) in accesses.iter().zip(out.iter_mut()) {
+        for (i, a) in accesses.iter().enumerate() {
             let before = hier.stats();
             let w = walk_dimension_cached(
                 m.proc_.page_table(),
@@ -110,26 +113,28 @@ impl NativeTranslator for NativeVanilla {
                 &mut self.memo,
             )
             .expect("populated");
-            o.pte = pte_delta(before, hier.stats());
+            out.set_pte(i, pte_delta(before, hier.stats()));
             // The walk's result *is* the data mapping: reuse its PA
             // instead of scalar's redundant software radix walk.
             let (level, cycles) = hier.access(w.pa.raw());
-            o.tr = Translation {
-                pa: w.pa,
-                size: w.size,
-                cycles: w.cycles,
-                refs: w.refs,
-                fallback: false,
-            };
-            o.data_level = level;
-            o.data_cycles = cycles;
+            out.set_translation(
+                i,
+                &Translation {
+                    pa: w.pa,
+                    size: w.size,
+                    cycles: w.cycles,
+                    refs: w.refs,
+                    fallback: false,
+                },
+            );
+            out.set_data(i, level, cycles);
         }
     }
 }
 
 /// The full 2D nested walk.
 #[derive(Default)]
-struct VirtVanilla;
+pub struct VirtVanilla;
 
 impl VirtTranslator for VirtVanilla {
     fn translate(
@@ -153,26 +158,25 @@ impl VirtTranslator for VirtVanilla {
         m: &mut VirtMachine,
         accesses: &[Access],
         hier: &mut MemoryHierarchy,
-        out: &mut [Outcome],
+        out: &mut OutcomeRows<'_>,
     ) {
         // The 2D walk itself stays scalar (its PWC interleavings are
         // design-specific); the win here is reusing the walk's host PA
         // for the data access, skipping the two-dimensional software
         // resolve scalar performs per element.
-        for (a, o) in accesses.iter().zip(out.iter_mut()) {
+        for (i, a) in accesses.iter().enumerate() {
             let before = hier.stats();
             let tr = self.translate(m, a.va, hier);
-            o.pte = pte_delta(before, hier.stats());
+            out.set_pte(i, pte_delta(before, hier.stats()));
             let (level, cycles) = hier.access(tr.pa.raw());
-            o.tr = tr;
-            o.data_level = level;
-            o.data_cycles = cycles;
+            out.set_translation(i, &tr);
+            out.set_data(i, level, cycles);
         }
     }
 }
 
 /// The cascaded L2PT × sPT baseline walk.
-struct NestedVanilla;
+pub struct NestedVanilla;
 
 impl NestedTranslator for NestedVanilla {
     fn translate(

@@ -47,6 +47,7 @@ pub use stats::{NodeStats, TenantStats};
 
 use crate::engine::{run_block, step_access, BLOCK_SIZE};
 use crate::error::SimError;
+use crate::rig::Rig;
 use crate::runner::Runner;
 use dmt_cache::hierarchy::MemoryHierarchy;
 use dmt_cache::pwc::PageWalkCache;
@@ -229,11 +230,29 @@ fn run_node_probed<P: Probe>(
                 }
             }
         } else {
+            // The node-wide access counter only feeds the sampling hook,
+            // so the hook (and the counter) is skipped entirely when
+            // nothing samples — run_block's column-wise reconcile fast
+            // path then engages.
+            let sampling = P::ACTIVE && sample_every > 0;
+            let mut on_measured = |p: &mut P, r: &dyn Rig, _accesses: u64| {
+                node_accesses += 1;
+                if node_accesses.is_multiple_of(sample_every) {
+                    if let Some((frag, rss)) = r.frag_sample() {
+                        p.sample(node_accesses, frag, rss);
+                    }
+                }
+            };
             let mut done = 0;
             while done < len {
                 let chunk = (len - done).min(BLOCK_SIZE - (t.pos % BLOCK_SIZE));
                 let start = t.pos;
                 t.pos += chunk;
+                let cb: Option<crate::engine::OnMeasured<'_, P>> = if sampling {
+                    Some(&mut on_measured)
+                } else {
+                    None
+                };
                 run_block(
                     t.rig.as_mut(),
                     &t.trace[start..start + chunk],
@@ -243,15 +262,7 @@ fn run_node_probed<P: Probe>(
                     &mut t.stats,
                     probe,
                     &mut t.block,
-                    |p, r, _| {
-                        node_accesses += 1;
-                        if P::ACTIVE && sample_every > 0 && node_accesses.is_multiple_of(sample_every)
-                        {
-                            if let Some((frag, rss)) = r.frag_sample() {
-                                p.sample(node_accesses, frag, rss);
-                            }
-                        }
-                    },
+                    cb,
                 );
                 done += chunk;
             }

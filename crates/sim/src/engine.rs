@@ -7,19 +7,22 @@
 //! PTE lines is what makes last-level PTEs expensive for big-footprint
 //! workloads.
 //!
-//! The loop is generic over a [`Probe`]: [`run`] uses the no-op probe
-//! (whose `ACTIVE = false` compiles every instrumentation branch away,
-//! so the default path is byte-for-byte the uninstrumented engine),
-//! while [`run_probed`] with a live [`dmt_telemetry::Telemetry`]
-//! additionally captures per-walk histograms, per-level counters and a
-//! periodic fragmentation time-series. The probe only *observes* —
-//! simulation state transitions are identical either way, which
-//! `tests/determinism.rs` pins by comparing `RunStats` bit-for-bit.
+//! The loop is generic over a [`Probe`]: the no-op probe's
+//! `ACTIVE = false` compiles every instrumentation branch away, so the
+//! default path is byte-for-byte the uninstrumented engine, while a live
+//! [`dmt_telemetry::Telemetry`] additionally captures per-walk
+//! histograms, per-level counters and a periodic fragmentation
+//! time-series. The probe only *observes* — simulation state transitions
+//! are identical either way, which `tests/determinism.rs` pins by
+//! comparing `RunStats` bit-for-bit.
+//!
+//! Both engines are driven through [`crate::runner::Runner`]; the
+//! entry points here are crate-internal.
 
-use crate::rig::{Outcome, Rig};
+use crate::rig::{OutcomeBlock, Rig};
 use dmt_cache::hierarchy::{HitLevel, MemoryHierarchy};
 use dmt_cache::tlb::{Tlb, TlbHit};
-use dmt_mem::FastSet;
+use dmt_mem::{FastSet, VirtAddr};
 use dmt_telemetry::{MemLevel, Probe, TlbPath};
 use dmt_workloads::gen::Access;
 use std::borrow::Borrow;
@@ -74,24 +77,6 @@ impl RunStats {
     }
 }
 
-/// Run `trace` through the rig. The first `warmup` accesses warm the TLB
-/// and caches; statistics cover the remainder.
-///
-/// The trace is any stream of accesses — a `&[Access]` slice, a
-/// `Vec<Access>`, or a streaming decoder yielding owned `Access`es — so
-/// replays never need to materialize a disk-scale trace in memory.
-///
-/// A migration shim over [`crate::runner::Runner::replay`] with the
-/// inert default runner (no telemetry, no wrapper) — bit-identical to
-/// the historical direct loop, which the test suite pins.
-pub fn run<I>(rig: &mut dyn Rig, trace: I, warmup: usize) -> RunStats
-where
-    I: IntoIterator,
-    I::Item: Borrow<Access>,
-{
-    crate::runner::Runner::builder().build().replay(rig, trace, warmup).0
-}
-
 fn mem_level(l: HitLevel) -> MemLevel {
     match l {
         HitLevel::L1 => MemLevel::L1,
@@ -116,17 +101,15 @@ pub(crate) const BLOCK_SIZE: usize = 256;
 ///
 /// The scan performs all *state* transitions (TLB probes/fills, cache
 /// charges) immediately; accounting is deferred to one reconciliation
-/// pass per block, which replays these records in element order with
-/// exactly the `measured`/`P::ACTIVE` gating of [`step_access`].
+/// pass per block. Per-element data now lives column-wise in
+/// `BlockState::outcomes`; the record only keeps what the columns do
+/// not carry (hit path, hit/miss kind).
 enum Rec {
-    /// TLB hit: which path hit and what the data access cost.
-    Hit {
-        path: TlbPath,
-        level: HitLevel,
-        cycles: u64,
-    },
-    /// TLB miss: the outcome lives in `BlockState::outcomes` at the
-    /// same index.
+    /// TLB hit: which TLB path hit (data level/cycles are in the
+    /// outcome columns at the same index).
+    Hit { path: TlbPath },
+    /// TLB miss: the whole outcome lives in `BlockState::outcomes` at
+    /// the same index.
     Miss,
 }
 
@@ -135,38 +118,63 @@ enum Rec {
 /// across blocks. Holds no cross-block simulation state.
 #[derive(Default)]
 pub(crate) struct BlockState {
-    outcomes: Vec<Outcome>,
+    outcomes: OutcomeBlock,
     recs: Vec<Rec>,
     pending_regions: FastSet<u64>,
+    /// Regions that received a TLB fill earlier in this block — the only
+    /// places where the block-start residency hints can have gone stale
+    /// in the absent→resident direction (a fill never exceeds the
+    /// region granularity, see `region_shift`).
+    filled_regions: FastSet<u64>,
+    /// Block-start residency hints from [`Tlb::probe_block`], one per
+    /// element.
+    hints: Vec<bool>,
+    /// The block's VAs, contiguous for the vectorized probe.
+    vas: Vec<VirtAddr>,
+    /// Indices of miss elements, for the column-wise reconcile pass.
+    miss_idx: Vec<u32>,
 }
 
-/// Flush a pending miss run: one `translate_batch` over the slice, then
-/// the per-element TLB replay (miss charge + fill) in element order —
-/// the same per-component op sequence the scalar loop would have issued.
+/// The sampling callback [`run_block`] fires after a block's measured
+/// accesses are reconciled — the shard/cloudnode periodic-series hook.
+pub(crate) type OnMeasured<'a, P> = &'a mut dyn FnMut(&mut P, &dyn Rig, u64);
+
+/// Flush a pending miss run: one `translate_batch` over the run's row
+/// window, then the per-element TLB replay (miss charge + fill) in
+/// element order — the same per-component op sequence the scalar loop
+/// would have issued. When `first_pre_counted`, the run's first element
+/// already took its miss charge through a failed `lookup_any` (a stale
+/// block-probe hint), so only the fill remains for it.
+#[allow(clippy::too_many_arguments)]
 fn flush_run(
     rig: &mut dyn Rig,
     block: &[Access],
     range: std::ops::Range<usize>,
+    first_pre_counted: bool,
     tlb: &mut Tlb,
     hier: &mut MemoryHierarchy,
-    outcomes: &mut [Outcome],
+    outcomes: &mut OutcomeBlock,
+    filled_regions: &mut FastSet<u64>,
     region_shift: u32,
 ) {
     if range.is_empty() {
         return;
     }
     let (s, e) = (range.start, range.end);
-    rig.translate_batch(&block[s..e], hier, &mut outcomes[s..e]);
-    for j in s..e {
-        let size = outcomes[j].tr.size;
+    rig.translate_batch(&block[s..e], hier, &mut outcomes.rows(s..e));
+    for (j, a) in block.iter().enumerate().take(e).skip(s) {
+        let size = outcomes.size[j];
         debug_assert!(
             size.shift() <= region_shift,
             "a {}-bit fill exceeds the {}-bit pending-region granularity",
             size.shift(),
             region_shift
         );
-        tlb.record_miss(block[j].va);
-        tlb.fill(block[j].va, size);
+        if !(first_pre_counted && j == s) {
+            tlb.record_miss(a.va);
+        }
+        tlb.fill(a.va, size);
+        filled_regions.insert(a.va.raw() >> region_shift);
     }
 }
 
@@ -176,18 +184,32 @@ fn flush_run(
 /// scalar [`step_access`] loop would perform happens here in the same
 /// per-component order —
 ///
+/// - the TLB residency of the whole block is probed up front with one
+///   structure-major [`Tlb::probe_block`] pass (read-only, so the
+///   hints observe exactly the block-entry state); a hint can go stale
+///   during the block only (a) absent→resident via a fill, confined to
+///   `filled_regions` and re-checked with an exact `probe_any`, or (b)
+///   resident→absent via an eviction, caught because the stateful
+///   `lookup_any` is the authority — when it misses, its failed probe
+///   sequence IS the miss charge the scalar loop would take
+///   (`record_miss`'s contract), and the element starts a new pending
+///   run with the charge marked as already taken;
 /// - misses accumulate into a *pending run* of region-disjoint VAs; a
-///   TLB probe hit or a region conflict flushes the run first (so a fill
+///   TLB hit or a region conflict flushes the run first (so a fill
 ///   from an earlier miss can still produce the hit the scalar loop
-///   would have seen), then re-probes;
+///   would have seen), then re-probes exactly;
 /// - hit elements do their data access immediately (cache charges stay
 ///   in trace order); miss elements' data accesses happen inside
 ///   `translate_batch`, interleaved per element with the PTE fetches;
 /// - `measured`-gated accounting (RunStats + probe) is deferred to one
-///   reconciliation pass per block, replaying the recorded outcomes in
-///   element order; `on_measured` fires after each measured element with
-///   the running access count, mirroring the caller's per-access
-///   sampling hook.
+///   reconciliation pass per block over the outcome columns. With no
+///   probe and no sampling hook the pass is column-wise (dense u64
+///   sums over `data_cycles` plus a gather over the miss indices) —
+///   bit-identical to the element-order replay because every RunStats
+///   field is a commutative u64 sum. Otherwise the records replay in
+///   element order with exactly the `measured`/`P::ACTIVE` gating of
+///   [`step_access`], and `on_measured` fires after each measured
+///   element with the running access count.
 ///
 /// `measured_from` is the block-local index of the first measured
 /// element (`warmup - block_base`, saturating).
@@ -201,79 +223,150 @@ pub(crate) fn run_block<P: Probe>(
     stats: &mut RunStats,
     probe: &mut P,
     st: &mut BlockState,
-    mut on_measured: impl FnMut(&mut P, &dyn Rig, u64),
+    mut on_measured: Option<OnMeasured<'_, P>>,
 ) {
     // Pending-region granularity must be at least the largest possible
     // TLB fill, or a fill could create a hit for a VA already scanned as
     // a miss. 2 MiB mappings only exist under THP; the flush asserts.
     let region_shift: u32 = if rig.thp() { 21 } else { 12 };
-    st.outcomes.clear();
-    st.outcomes.resize(block.len(), Outcome::default());
+    st.outcomes.reset(block.len());
     st.recs.clear();
     st.pending_regions.clear();
-    let mut pending: Option<usize> = None;
+    st.filled_regions.clear();
+    st.miss_idx.clear();
+    st.vas.clear();
+    st.vas.extend(block.iter().map(|a| a.va));
+    st.hints.resize(block.len(), false);
+    tlb.probe_block(&st.vas, &mut st.hints);
+    // (run start, whether its first element's miss charge was already
+    // taken by a failed lookup_any on a stale hint).
+    let mut pending: Option<(usize, bool)> = None;
 
     for (i, a) in block.iter().enumerate() {
         let region = a.va.raw() >> region_shift;
-        let mut hit = tlb.probe_any(a.va);
-        if let Some(s) = pending {
+        let mut hit =
+            st.hints[i] || (st.filled_regions.contains(&region) && tlb.probe_any(a.va));
+        if let Some((s, pre)) = pending {
             if hit || st.pending_regions.contains(&region) {
-                flush_run(rig, block, s..i, tlb, hier, &mut st.outcomes, region_shift);
+                flush_run(
+                    rig,
+                    block,
+                    s..i,
+                    pre,
+                    tlb,
+                    hier,
+                    &mut st.outcomes,
+                    &mut st.filled_regions,
+                    region_shift,
+                );
                 st.pending_regions.clear();
                 pending = None;
                 hit = tlb.probe_any(a.va);
             }
         }
         if hit {
-            let (h, _) = tlb.lookup_any(a.va).expect("probe_any saw a resident VA");
-            let path = match h {
-                TlbHit::L1 => TlbPath::L1,
-                _ => TlbPath::Stlb,
-            };
-            let pa = rig.data_pa(a.va);
-            let (level, cycles) = hier.access(pa.raw());
-            st.recs.push(Rec::Hit {
-                path,
-                level,
-                cycles,
-            });
+            match tlb.lookup_any(a.va) {
+                Some((h, _)) => {
+                    let path = match h {
+                        TlbHit::L1 => TlbPath::L1,
+                        _ => TlbPath::Stlb,
+                    };
+                    let pa = rig.data_pa(a.va);
+                    let (level, cycles) = hier.access(pa.raw());
+                    st.outcomes.data_level[i] = level;
+                    st.outcomes.data_cycles[i] = cycles;
+                    st.recs.push(Rec::Hit { path });
+                }
+                None => {
+                    // Stale block-probe hint: the entry was evicted
+                    // after the hints were taken. The failed lookup_any
+                    // just charged the miss exactly as the deferred
+                    // record_miss would have (same clock advances, same
+                    // counter) — start a new run with the charge marked
+                    // taken. No flush intervened since the hint check,
+                    // so this element necessarily *starts* its run.
+                    pending = Some((i, true));
+                    st.pending_regions.insert(region);
+                    st.recs.push(Rec::Miss);
+                    st.miss_idx.push(i as u32);
+                }
+            }
         } else {
             if pending.is_none() {
-                pending = Some(i);
+                pending = Some((i, false));
             }
             st.pending_regions.insert(region);
             st.recs.push(Rec::Miss);
+            st.miss_idx.push(i as u32);
         }
     }
-    if let Some(s) = pending {
+    if let Some((s, pre)) = pending {
         let e = block.len();
-        flush_run(rig, block, s..e, tlb, hier, &mut st.outcomes, region_shift);
+        flush_run(
+            rig,
+            block,
+            s..e,
+            pre,
+            tlb,
+            hier,
+            &mut st.outcomes,
+            &mut st.filled_regions,
+            region_shift,
+        );
         st.pending_regions.clear();
     }
 
-    // Deferred accounting: replay the records in element order with the
-    // exact measured/ACTIVE gating of step_access.
+    // Deferred accounting. Fast path: no probe, no sampling hook —
+    // column-wise sums, same u64 additions in a different order.
+    if !P::ACTIVE && on_measured.is_none() {
+        if measured_from < block.len() {
+            stats.accesses += (block.len() - measured_from) as u64;
+            stats.data_cycles += st.outcomes.data_cycles[measured_from..]
+                .iter()
+                .sum::<u64>();
+            for &j in &st.miss_idx {
+                let j = j as usize;
+                if j < measured_from {
+                    continue;
+                }
+                stats.walks += 1;
+                stats.walk_cycles += st.outcomes.cycles[j];
+                stats.walk_refs += st.outcomes.refs[j];
+                if st.outcomes.fault[j] {
+                    stats.fallbacks += 1;
+                }
+            }
+        }
+        return;
+    }
+
+    // Slow path: replay the records in element order with the exact
+    // measured/ACTIVE gating of step_access.
     for (j, rec) in st.recs.iter().enumerate() {
         if j < measured_from {
             continue;
         }
+        let data_cycles = st.outcomes.data_cycles[j];
         match rec {
             Rec::Miss => {
-                let o = &st.outcomes[j];
                 stats.walks += 1;
-                stats.walk_cycles += o.tr.cycles;
-                stats.walk_refs += o.tr.refs;
-                if o.tr.fallback {
+                stats.walk_cycles += st.outcomes.cycles[j];
+                stats.walk_refs += st.outcomes.refs[j];
+                if st.outcomes.fault[j] {
                     stats.fallbacks += 1;
                 }
                 if P::ACTIVE {
                     probe.tlb_lookup(TlbPath::Miss);
-                    probe.walk(o.tr.cycles, o.tr.refs, o.tr.fallback);
+                    probe.walk(
+                        st.outcomes.cycles[j],
+                        st.outcomes.refs[j],
+                        st.outcomes.fault[j],
+                    );
                     for (level, n) in [
-                        (MemLevel::L1, o.pte[0]),
-                        (MemLevel::L2, o.pte[1]),
-                        (MemLevel::Llc, o.pte[2]),
-                        (MemLevel::Dram, o.pte[3]),
+                        (MemLevel::L1, st.outcomes.pte[0][j]),
+                        (MemLevel::L2, st.outcomes.pte[1][j]),
+                        (MemLevel::Llc, st.outcomes.pte[2][j]),
+                        (MemLevel::Dram, st.outcomes.pte[3][j]),
                     ] {
                         if n > 0 {
                             probe.pte_fetches(level, n);
@@ -281,46 +374,51 @@ pub(crate) fn run_block<P: Probe>(
                     }
                 }
                 stats.accesses += 1;
-                stats.data_cycles += o.data_cycles;
+                stats.data_cycles += data_cycles;
                 if P::ACTIVE {
-                    probe.data_access(mem_level(o.data_level), o.data_cycles);
+                    probe.data_access(mem_level(st.outcomes.data_level[j]), data_cycles);
                 }
             }
-            Rec::Hit {
-                path,
-                level,
-                cycles,
-            } => {
+            Rec::Hit { path } => {
                 if P::ACTIVE {
                     probe.tlb_lookup(*path);
                 }
                 stats.accesses += 1;
-                stats.data_cycles += cycles;
+                stats.data_cycles += data_cycles;
                 if P::ACTIVE {
-                    probe.data_access(mem_level(*level), *cycles);
+                    probe.data_access(mem_level(st.outcomes.data_level[j]), data_cycles);
                 }
             }
         }
-        on_measured(probe, rig, stats.accesses);
+        if let Some(cb) = on_measured.as_mut() {
+            cb(probe, rig, stats.accesses);
+        }
     }
 }
 
-/// [`run`] with an observation probe threaded through the loop.
+/// The batched engine with an observation probe threaded through the
+/// loop (driven via [`crate::runner::Runner::replay`] /
+/// [`replay_sampled`](crate::runner::Runner::replay_sampled)).
 ///
 /// Every probe call site is gated on `P::ACTIVE`, a const the compiler
 /// folds, so `run_probed::<_, NoopProbe>` monomorphizes to exactly the
 /// uninstrumented loop. With a live probe, per-walk latency/refs and
 /// per-access data latency feed histograms, PTE fetches are attributed
-/// to cache levels by diffing [`MemoryHierarchy::stats`] around the
-/// rig's translate call, and every `sample_interval` measured accesses
-/// the rig's fragmentation/RSS snapshot is appended to a time-series.
+/// to cache levels by the backend's per-element charge columns, and
+/// every `sample_interval` measured accesses the rig's
+/// fragmentation/RSS snapshot is appended to a time-series.
 ///
-/// This is the *batched* engine: accesses are fed to [`run_block`] in
-/// [`BLOCK_SIZE`] chunks, which hands miss runs to
-/// [`Rig::translate_batch`] and defers accounting to one reconciliation
-/// pass per block. It is bit-identical to [`run_probed_scalar`] — the
-/// contract `tests/batch_equivalence.rs` and the backend goldens pin.
-pub fn run_probed<I, P>(rig: &mut dyn Rig, trace: I, warmup: usize, probe: &mut P) -> RunStats
+/// Accesses are fed to [`run_block`] in [`BLOCK_SIZE`] chunks, which
+/// hands miss runs to [`Rig::translate_batch`] and defers accounting to
+/// one reconciliation pass per block. It is bit-identical to
+/// [`run_probed_scalar`] — the contract `tests/batch_equivalence.rs`
+/// and the backend goldens pin.
+pub(crate) fn run_probed<I, P>(
+    rig: &mut dyn Rig,
+    trace: I,
+    warmup: usize,
+    probe: &mut P,
+) -> RunStats
 where
     I: IntoIterator,
     I::Item: Borrow<Access>,
@@ -334,7 +432,7 @@ where
     } else {
         0
     };
-    let on_measured = |p: &mut P, r: &dyn Rig, accesses: u64| {
+    let mut on_measured = |p: &mut P, r: &dyn Rig, accesses: u64| {
         if sample_every > 0 && accesses.is_multiple_of(sample_every) {
             if let Some((frag, rss)) = r.frag_sample() {
                 p.sample(accesses, frag, rss);
@@ -347,6 +445,11 @@ where
     for a in trace.into_iter() {
         buf.push(*a.borrow());
         if buf.len() == BLOCK_SIZE {
+            let cb: Option<OnMeasured<'_, P>> = if sample_every > 0 {
+                Some(&mut on_measured)
+            } else {
+                None
+            };
             run_block(
                 rig,
                 &buf,
@@ -356,13 +459,18 @@ where
                 &mut stats,
                 probe,
                 &mut st,
-                on_measured,
+                cb,
             );
             base += BLOCK_SIZE;
             buf.clear();
         }
     }
     if !buf.is_empty() {
+        let cb: Option<OnMeasured<'_, P>> = if sample_every > 0 {
+            Some(&mut on_measured)
+        } else {
+            None
+        };
         run_block(
             rig,
             &buf,
@@ -372,7 +480,7 @@ where
             &mut stats,
             probe,
             &mut st,
-            on_measured,
+            cb,
         );
     }
     stats.exits = rig.exits();
@@ -387,8 +495,14 @@ where
 ///
 /// Kept as the reference implementation the batched path is measured
 /// and equivalence-tested against; select it with
-/// [`RunnerBuilder::scalar_engine`](crate::runner::RunnerBuilder::scalar_engine).
-pub fn run_probed_scalar<I, P>(rig: &mut dyn Rig, trace: I, warmup: usize, probe: &mut P) -> RunStats
+/// [`RunnerBuilder::engine`](crate::runner::RunnerBuilder::engine)
+/// (`Engine::Scalar`).
+pub(crate) fn run_probed_scalar<I, P>(
+    rig: &mut dyn Rig,
+    trace: I,
+    warmup: usize,
+    probe: &mut P,
+) -> RunStats
 where
     I: IntoIterator,
     I::Item: Borrow<Access>,
@@ -493,10 +607,15 @@ pub(crate) fn step_access<P: Probe>(
 #[cfg(test)]
 mod tests {
     use crate::native_rig::NativeRig;
-    use crate::rig::Design;
+    use crate::rig::{Design, Rig};
+    use crate::runner::Runner;
     use dmt_telemetry::{Counter, Telemetry};
     use dmt_workloads::bench7::Gups;
-    use dmt_workloads::gen::Workload;
+    use dmt_workloads::gen::{Access, Workload};
+
+    fn run(rig: &mut dyn Rig, trace: &[Access], warmup: usize) -> super::RunStats {
+        Runner::builder().build().replay(rig, trace, warmup).0
+    }
 
     fn tiny_gups() -> Gups {
         // Must exceed the PWC's 64 MiB reach (32 L2 entries x 2 MiB) or
@@ -511,9 +630,9 @@ mod tests {
         let w = tiny_gups();
         let trace = w.trace(6_000, 99);
         let mut vanilla = NativeRig::new(Design::Vanilla, false, &w, &trace).unwrap();
-        let sv = super::run(&mut vanilla, &trace, 1_000);
+        let sv = run(&mut vanilla, &trace, 1_000);
         let mut dmt = NativeRig::new(Design::Dmt, false, &w, &trace).unwrap();
-        let sd = super::run(&mut dmt, &trace, 1_000);
+        let sd = run(&mut dmt, &trace, 1_000);
         assert!(sv.walks > 1_000, "GUPS must thrash the TLB: {}", sv.walks);
         assert!(
             sd.avg_walk_latency() < sv.avg_walk_latency(),
@@ -531,7 +650,7 @@ mod tests {
         let w = Gups { table_bytes: 32 << 20 };
         let trace = w.trace(3_000, 5);
         let mut rig = NativeRig::new(Design::Vanilla, false, &w, &trace).unwrap();
-        let s = super::run(&mut rig, &trace, 500);
+        let s = run(&mut rig, &trace, 500);
         assert_eq!(s.accesses, 2_500);
         assert!(s.walks <= s.accesses);
         assert!(s.data_cycles > 0);
@@ -543,9 +662,9 @@ mod tests {
         let w = Gups { table_bytes: 32 << 20 };
         let trace = w.trace(6_000, 7);
         let mut small = NativeRig::new(Design::Vanilla, false, &w, &trace).unwrap();
-        let s4 = super::run(&mut small, &trace, 1_000);
+        let s4 = run(&mut small, &trace, 1_000);
         let mut huge = NativeRig::new(Design::Vanilla, true, &w, &trace).unwrap();
-        let s2 = super::run(&mut huge, &trace, 1_000);
+        let s2 = run(&mut huge, &trace, 1_000);
         assert!(
             s2.miss_ratio() < s4.miss_ratio(),
             "THP {} !< 4K {}",

@@ -94,7 +94,7 @@ pub struct Measurement {
     /// DMT fetcher coverage (1.0 for non-DMT designs).
     pub coverage: f64,
     /// Telemetry recorded during the run (`DMT_TELEMETRY=1` or an
-    /// explicit [`run_one_with_telemetry`] call; `None` otherwise).
+    /// explicit `RunnerBuilder::telemetry(true)`; `None` otherwise).
     pub telemetry: Option<dmt_telemetry::Telemetry>,
 }
 
@@ -114,14 +114,13 @@ pub fn telemetry_enabled() -> bool {
 }
 
 /// Run one (env, design, thp, workload) configuration with the
-/// environment-configured [`Runner`] — a migration shim; equivalent to
-/// `Runner::from_env().run_one(...)` and bit-identical to the historical
-/// free function.
+/// environment-configured [`Runner`] — the figure runners' shorthand
+/// for `Runner::from_env().run_one(...)`.
 ///
 /// # Errors
 ///
 /// Propagates rig construction failures.
-pub fn run_one(
+pub(crate) fn run_one(
     env: Env,
     design: Design,
     thp: bool,
@@ -129,26 +128,6 @@ pub fn run_one(
     scale: Scale,
 ) -> Result<Measurement, SimError> {
     Runner::from_env().run_one(env, design, thp, w, scale)
-}
-
-/// [`run_one`] with explicit control over telemetry capture (the
-/// `RunStats` are bit-identical either way) — a migration shim over
-/// [`Runner::run_one`].
-///
-/// # Errors
-///
-/// Propagates rig construction failures.
-pub fn run_one_with_telemetry(
-    env: Env,
-    design: Design,
-    thp: bool,
-    w: &dyn Workload,
-    scale: Scale,
-    telemetry: bool,
-) -> Result<Measurement, SimError> {
-    let mut runner = Runner::from_env();
-    runner.telemetry = telemetry;
-    runner.run_one(env, design, thp, w, scale)
 }
 
 /// One speedup row of Figures 14/15/17.

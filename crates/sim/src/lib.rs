@@ -11,9 +11,9 @@
 //!   shells that own machine state and delegate to a registry-built
 //!   backend.
 //! * [`engine`] — TLB → translate → data-access loop with statistics;
-//!   batched by default ([`engine::run_probed`]), with the scalar
-//!   reference loop ([`engine::run_probed_scalar`]) kept for
-//!   equivalence testing and as the bench-harness baseline.
+//!   batched by default, with the scalar reference loop kept for
+//!   equivalence testing and as the bench-harness baseline. Both are
+//!   driven through [`runner::Runner::replay`].
 //! * [`perfmodel`] — the calibrated execution-time model (see DESIGN.md
 //!   for the substitution rationale).
 //! * [`experiments`] — Figure 4/14/15/16/17 and Table 5/6 runners.
@@ -66,15 +66,16 @@ pub mod sweep;
 pub mod virt_rig;
 
 pub use cloudnode::{ChurnConfig, NodeConfig, NodeStats, Tagging, TenantSpec, TenantStats};
-pub use engine::{ratio, run, run_probed, run_probed_scalar, RunStats};
+pub use engine::{ratio, RunStats};
 pub use error::SimError;
 pub use experiments::{
     fig14, fig15, fig16, fig17, install_rig_wrapper, table5, table6, table7, telemetry_enabled,
     Scale, Table7Row,
 };
-pub use rig::{Design, Env, Outcome, RefEntry, Rig, Setup, Translation};
+pub use rig::{Design, Env, Outcome, OutcomeBlock, OutcomeRows, RefEntry, Rig, Setup, Translation};
 pub use runner::{
-    env_config, EnvConfig, Runner, RunnerBuilder, TraceSet, DEFAULT_EPOCH_LEN, SPILL_CHUNK_LEN,
+    env_config, Engine, EnvConfig, Runner, RunnerBuilder, TraceSet, DEFAULT_EPOCH_LEN,
+    SPILL_CHUNK_LEN,
 };
 pub use shard::{plan_shards, ShardSource, ShardSpec, ShardedOutcome};
 pub use sweep::{sweep, sweep_serial, SweepConfig, SweepReport, SweepRow};

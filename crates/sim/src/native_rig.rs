@@ -1,11 +1,11 @@
 //! The native-environment shell: owns a [`NativeMachine`] (physical
 //! memory, process, register file, PWC) and delegates every
-//! design-specific decision to the registry-built
-//! [`NativeTranslator`] backend.
+//! design-specific decision to the registry-built [`NativeBackend`]
+//! enum (monomorphic dispatch; `Custom` boxes ablation translators).
 
-use crate::backends::{NativeMachine, NativeTranslator};
+use crate::backends::{NativeBackend, NativeMachine, NativeTranslator};
 use crate::error::SimError;
-use crate::rig::{Design, Env, Outcome, RefEntry, Rig, Setup, Translation};
+use crate::rig::{Design, Env, OutcomeRows, RefEntry, Rig, Setup, Translation};
 use dmt_cache::hierarchy::MemoryHierarchy;
 use dmt_mem::{PhysAddr, PhysMemory, VirtAddr};
 use dmt_os::proc::Process;
@@ -15,7 +15,7 @@ use dmt_workloads::gen::{Access, Workload};
 /// A native machine running one workload under one design.
 pub struct NativeRig {
     m: NativeMachine,
-    backend: Box<dyn NativeTranslator>,
+    backend: NativeBackend,
     design: Design,
     thp: bool,
 }
@@ -49,7 +49,14 @@ impl NativeRig {
     /// for `design`.
     pub fn with_setup(design: Design, thp: bool, setup: &Setup) -> Result<Self, SimError> {
         let spec = crate::registry::native_spec(design)?;
-        Self::with_translator(design, thp, spec.dmt_managed, setup, spec.build)
+        let mut m = NativeMachine::build(spec.dmt_managed, thp, setup)?;
+        let backend = (spec.build)(&mut m, setup)?;
+        Ok(NativeRig {
+            m,
+            backend,
+            design,
+            thp,
+        })
     }
 
     /// Build the machine inside an existing physical memory — the
@@ -89,8 +96,11 @@ impl NativeRig {
     /// Build the machine with an explicit translator factory instead of
     /// the registered one — the extension point for design *ablations*
     /// that keep their parent's registry row (e.g. the DESIGN.md §11
-    /// no-fallback-PWC DMT variant). The reported [`Rig::design`] stays
-    /// `design`, so downstream reporting needs no new enum variant.
+    /// no-fallback-PWC DMT variant). The boxed translator rides in the
+    /// backend enum's `Custom` variant (dynamic dispatch — ablations
+    /// pay the vtable, the registry path stays monomorphic), and the
+    /// reported [`Rig::design`] stays `design`, so downstream reporting
+    /// needs no new enum variant.
     ///
     /// # Errors
     ///
@@ -103,7 +113,7 @@ impl NativeRig {
         build: impl FnOnce(&mut NativeMachine, &Setup) -> Result<Box<dyn NativeTranslator>, SimError>,
     ) -> Result<Self, SimError> {
         let mut m = NativeMachine::build(dmt_managed, thp, setup)?;
-        let backend = build(&mut m, setup)?;
+        let backend = NativeBackend::Custom(build(&mut m, setup)?);
         Ok(NativeRig {
             m,
             backend,
@@ -149,7 +159,7 @@ impl Rig for NativeRig {
         &mut self,
         accesses: &[Access],
         hier: &mut MemoryHierarchy,
-        out: &mut [Outcome],
+        out: &mut OutcomeRows<'_>,
     ) {
         self.backend.translate_batch(&mut self.m, accesses, hier, out)
     }

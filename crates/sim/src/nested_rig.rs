@@ -1,10 +1,10 @@
 //! The nested-virtualization shell: owns the L0/L1/L2
 //! [`NestedMachine`] stack and delegates every design-specific decision
-//! to the registry-built [`NestedTranslator`] backend (Figure 17).
+//! to the registry-built [`NestedBackend`] enum (Figure 17).
 
-use crate::backends::NestedTranslator;
+use crate::backends::NestedBackend;
 use crate::error::SimError;
-use crate::rig::{Design, Env, Outcome, RefEntry, Rig, Setup, Translation};
+use crate::rig::{Design, Env, OutcomeRows, RefEntry, Rig, Setup, Translation};
 use dmt_cache::hierarchy::MemoryHierarchy;
 use dmt_mem::buddy::FrameKind;
 use dmt_mem::{PhysAddr, VirtAddr};
@@ -15,7 +15,7 @@ use dmt_workloads::gen::{Access, Workload};
 /// A nested (L0/L1/L2) machine running one workload under one design.
 pub struct NestedRig {
     m: NestedMachine,
-    backend: Box<dyn NestedTranslator>,
+    backend: NestedBackend,
     design: Design,
     thp: bool,
 }
@@ -130,7 +130,7 @@ impl Rig for NestedRig {
         &mut self,
         accesses: &[Access],
         hier: &mut MemoryHierarchy,
-        out: &mut [Outcome],
+        out: &mut OutcomeRows<'_>,
     ) {
         self.backend.translate_batch(&mut self.m, accesses, hier, out)
     }

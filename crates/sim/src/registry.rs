@@ -9,16 +9,16 @@
 //!   are `None` entries here, not scattered `match` arms;
 //! * the rigs ask [`native_spec`] / [`virt_spec`] / [`nested_spec`] for
 //!   the machine-construction knobs and the factory that builds the
-//!   boxed translator, and get a typed
+//!   per-environment backend enum, and get a typed
 //!   [`SimError::Unavailable`](crate::error::SimError::Unavailable) for
 //!   an N/A cell.
 //!
-//! Adding a design = one new backend module + one row here (and a new
-//! `Design` variant). See DESIGN.md §11 for the walkthrough.
+//! Adding a design = one new backend module + one enum arm in
+//! `backends::backend_enum!` per supported environment + one row here
+//! (and a new `Design` variant). See DESIGN.md §11 for the walkthrough;
+//! the tests below pin enum/registry agreement per environment.
 
-use crate::backends::{
-    self, NativeMachine, NativeTranslator, NestedTranslator, VirtTranslator,
-};
+use crate::backends::{self, NativeBackend, NativeMachine, NestedBackend, VirtBackend};
 use crate::error::SimError;
 use crate::rig::{Design, Env, Setup};
 use dmt_mem::Pfn;
@@ -35,20 +35,20 @@ pub struct Arena {
     pub frames: u64,
 }
 
-/// Builds a native backend over a fully populated [`NativeMachine`].
-pub type NativeFactory =
-    fn(&mut NativeMachine, &Setup) -> Result<Box<dyn NativeTranslator>, SimError>;
+/// Builds a native backend over a fully populated [`NativeMachine`],
+/// returned as the monomorphic [`NativeBackend`] enum (the factory
+/// wraps its concrete backend in the design's variant).
+pub type NativeFactory = fn(&mut NativeMachine, &Setup) -> Result<NativeBackend, SimError>;
 
 /// Builds a virt backend over a fully populated
 /// [`VirtMachine`], handed the boot-time arena iff the spec requested
 /// one via [`VirtSpec::arena_frames`].
 pub type VirtFactory =
-    fn(&mut VirtMachine, &Setup, Option<Arena>) -> Result<Box<dyn VirtTranslator>, SimError>;
+    fn(&mut VirtMachine, &Setup, Option<Arena>) -> Result<VirtBackend, SimError>;
 
 /// Builds a nested backend over a fully populated
 /// [`NestedMachine`].
-pub type NestedFactory =
-    fn(&mut NestedMachine, &Setup) -> Result<Box<dyn NestedTranslator>, SimError>;
+pub type NestedFactory = fn(&mut NestedMachine, &Setup) -> Result<NestedBackend, SimError>;
 
 /// How to stand a design up on bare metal.
 pub struct NativeSpec {
@@ -230,6 +230,48 @@ mod tests {
         assert!(native_spec(Design::Dmt).is_ok());
         assert!(virt_spec(Design::Shadow).is_ok());
         assert!(nested_spec(Design::PvDmt).is_ok());
+    }
+
+    #[test]
+    fn backend_enums_match_registry_availability() {
+        // Satellite of the api_redesign PR: registry/enum drift is a
+        // test failure, not a runtime surprise. Every `Design` variant
+        // must have an enum arm exactly where the registry has a spec,
+        // per environment.
+        for d in Design::ALL {
+            assert_eq!(
+                NativeBackend::DESIGNS.contains(&d),
+                available(d, Env::Native),
+                "{d:?} native enum arm vs registry row"
+            );
+            assert_eq!(
+                VirtBackend::DESIGNS.contains(&d),
+                available(d, Env::Virt),
+                "{d:?} virt enum arm vs registry row"
+            );
+            assert_eq!(
+                NestedBackend::DESIGNS.contains(&d),
+                available(d, Env::Nested),
+                "{d:?} nested enum arm vs registry row"
+            );
+        }
+        // And a built backend self-reports the design it was built for.
+        let setup = crate::rig::Setup {
+            regions: vec![dmt_workloads::gen::Region {
+                base: dmt_mem::VirtAddr(0x10_0000),
+                len: 1 << 20,
+                label: "t",
+            }],
+            pages: vec![dmt_mem::VirtAddr(0x10_0000)],
+        };
+        for d in Design::ALL {
+            if let Ok(spec) = native_spec(d) {
+                let mut m =
+                    NativeMachine::build(spec.dmt_managed, false, &setup).expect("machine");
+                let b = (spec.build)(&mut m, &setup).expect("backend");
+                assert_eq!(b.design(), Some(d), "{d:?} native variant");
+            }
+        }
     }
 
     #[test]

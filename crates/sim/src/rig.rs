@@ -88,7 +88,7 @@ impl Design {
 }
 
 /// One completed translation, as the engine sees it.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Translation {
     /// Final physical address.
     pub pa: PhysAddr,
@@ -107,7 +107,7 @@ pub struct Translation {
 /// attribution the scalar path would have derived inline. Produced by
 /// [`Rig::translate_batch`] so the engine can reconcile statistics and
 /// telemetry once per block instead of once per access.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Outcome {
     /// The completed translation.
     pub tr: Translation,
@@ -136,6 +136,200 @@ impl Default for Outcome {
             data_cycles: 0,
             pte: [0; 4],
         }
+    }
+}
+
+/// Structure-of-arrays buffer for one engine block's outcomes: every
+/// [`Outcome`] field stored as its own parallel column, plus the PTE
+/// charges as a `[level][element]` matrix (DMT's one-hot per-level
+/// charge writes one cell; radix walks write a short column run). The
+/// engine reconciles statistics column-wise — dense `u64` sums the
+/// compiler can vectorize — which is bit-identical to per-element
+/// reconciliation because every aggregated counter is a commutative
+/// `u64` sum (DESIGN.md §13).
+///
+/// Backends never see the whole block: [`Rig::translate_batch`] hands
+/// them an [`OutcomeRows`] window over the run they are translating,
+/// and the scalar reference path writes whole rows through the same
+/// view, so the bit-identity proofs stay one code path.
+#[derive(Debug, Clone, Default)]
+pub struct OutcomeBlock {
+    /// Final physical address per element ([`Translation::pa`]).
+    pub pa: Vec<u64>,
+    /// Installed page size per element ([`Translation::size`]).
+    pub size: Vec<PageSize>,
+    /// Translation cycles per element ([`Translation::cycles`]).
+    pub cycles: Vec<u64>,
+    /// Sequential references per element ([`Translation::refs`]).
+    pub refs: Vec<u64>,
+    /// Hardware-walker fallback flag per element
+    /// ([`Translation::fallback`]).
+    pub fault: Vec<bool>,
+    /// Data-access hit level per element ([`Outcome::data_level`]).
+    pub data_level: Vec<dmt_cache::hierarchy::HitLevel>,
+    /// Data-access cycles per element ([`Outcome::data_cycles`]).
+    pub data_cycles: Vec<u64>,
+    /// PTE-fetch charge matrix, `pte[mem_level][element]` in
+    /// `[L1, L2, LLC, DRAM]` order ([`Outcome::pte`] transposed).
+    pub pte: [Vec<u64>; 4],
+}
+
+impl OutcomeBlock {
+    /// Clear and resize every column to `n` default rows.
+    pub fn reset(&mut self, n: usize) {
+        self.pa.clear();
+        self.pa.resize(n, 0);
+        self.size.clear();
+        self.size.resize(n, PageSize::Size4K);
+        self.cycles.clear();
+        self.cycles.resize(n, 0);
+        self.refs.clear();
+        self.refs.resize(n, 0);
+        self.fault.clear();
+        self.fault.resize(n, false);
+        self.data_level.clear();
+        self.data_level
+            .resize(n, dmt_cache::hierarchy::HitLevel::L1);
+        self.data_cycles.clear();
+        self.data_cycles.resize(n, 0);
+        for col in &mut self.pte {
+            col.clear();
+            col.resize(n, 0);
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.pa.len()
+    }
+
+    /// Whether the block holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.pa.is_empty()
+    }
+
+    /// Write a whole row from an [`Outcome`].
+    pub fn set(&mut self, i: usize, o: &Outcome) {
+        self.pa[i] = o.tr.pa.raw();
+        self.size[i] = o.tr.size;
+        self.cycles[i] = o.tr.cycles;
+        self.refs[i] = o.tr.refs;
+        self.fault[i] = o.tr.fallback;
+        self.data_level[i] = o.data_level;
+        self.data_cycles[i] = o.data_cycles;
+        for (level, col) in self.pte.iter_mut().enumerate() {
+            col[i] = o.pte[level];
+        }
+    }
+
+    /// Reassemble row `i` as an [`Outcome`].
+    pub fn get(&self, i: usize) -> Outcome {
+        Outcome {
+            tr: Translation {
+                pa: PhysAddr(self.pa[i]),
+                size: self.size[i],
+                cycles: self.cycles[i],
+                refs: self.refs[i],
+                fallback: self.fault[i],
+            },
+            data_level: self.data_level[i],
+            data_cycles: self.data_cycles[i],
+            pte: [
+                self.pte[0][i],
+                self.pte[1][i],
+                self.pte[2][i],
+                self.pte[3][i],
+            ],
+        }
+    }
+
+    /// A mutable window over rows `range`, for handing a pending run to
+    /// [`Rig::translate_batch`]. Indices inside the view are
+    /// run-relative (`0..range.len()`).
+    pub fn rows(&mut self, range: std::ops::Range<usize>) -> OutcomeRows<'_> {
+        debug_assert!(range.end <= self.len());
+        OutcomeRows {
+            start: range.start,
+            len: range.end - range.start,
+            block: self,
+        }
+    }
+}
+
+/// A mutable row window into an [`OutcomeBlock`] — what
+/// [`Rig::translate_batch`] fills. Backends either write whole rows
+/// ([`set`](Self::set), the scalar reference path) or individual
+/// columns ([`set_translation`](Self::set_translation),
+/// [`set_pte_onehot`](Self::set_pte_onehot), …) when they already have
+/// the data column-shaped.
+pub struct OutcomeRows<'a> {
+    block: &'a mut OutcomeBlock,
+    start: usize,
+    len: usize,
+}
+
+impl OutcomeRows<'_> {
+    /// Rows in the window.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Write a whole row.
+    pub fn set(&mut self, i: usize, o: &Outcome) {
+        debug_assert!(i < self.len);
+        self.block.set(self.start + i, o);
+    }
+
+    /// Reassemble row `i` as an [`Outcome`].
+    pub fn get(&self, i: usize) -> Outcome {
+        debug_assert!(i < self.len);
+        self.block.get(self.start + i)
+    }
+
+    /// Write the translation columns of row `i`.
+    pub fn set_translation(&mut self, i: usize, tr: &Translation) {
+        debug_assert!(i < self.len);
+        let j = self.start + i;
+        self.block.pa[j] = tr.pa.raw();
+        self.block.size[j] = tr.size;
+        self.block.cycles[j] = tr.cycles;
+        self.block.refs[j] = tr.refs;
+        self.block.fault[j] = tr.fallback;
+    }
+
+    /// Write the data-access columns of row `i`.
+    pub fn set_data(
+        &mut self,
+        i: usize,
+        level: dmt_cache::hierarchy::HitLevel,
+        cycles: u64,
+    ) {
+        debug_assert!(i < self.len);
+        let j = self.start + i;
+        self.block.data_level[j] = level;
+        self.block.data_cycles[j] = cycles;
+    }
+
+    /// Write the full PTE-charge row of element `i`.
+    pub fn set_pte(&mut self, i: usize, pte: [u64; 4]) {
+        debug_assert!(i < self.len);
+        let j = self.start + i;
+        for (level, col) in self.block.pte.iter_mut().enumerate() {
+            col[j] = pte[level];
+        }
+    }
+
+    /// Charge exactly one PTE fetch at `level` for element `i` — the
+    /// one-hot write DMT's fetcher path uses (the block was reset to
+    /// zero, so no other cell needs touching).
+    pub fn set_pte_onehot(&mut self, i: usize, level: usize) {
+        debug_assert!(i < self.len);
+        self.block.pte[level][self.start + i] = 1;
     }
 }
 
@@ -193,33 +387,33 @@ pub trait Rig {
 
     /// Translate a run of TLB-missing accesses in one call, charging
     /// `hier` for each element's walk *and* data access in scalar
-    /// order, and filling `out[i]` for `accesses[i]`.
+    /// order, and filling row `i` of `out` for `accesses[i]`.
     ///
     /// The contract is bit-identity with the scalar path: the sequence
     /// of memory-hierarchy and walk-cache operations must be exactly
     /// what per-element `translate` + data `hier.access` would issue
-    /// (DESIGN.md §13). The default does literally that; backends
-    /// override it to hoist lookup machinery once per run.
+    /// (DESIGN.md §13). The default does literally that, writing whole
+    /// rows through the SoA view; backends override it to hoist lookup
+    /// machinery once per run and write columns directly.
     ///
     /// # Panics
     ///
-    /// Panics if `out` is shorter than `accesses`, or (like
+    /// Panics if `out` has fewer rows than `accesses`, or (like
     /// [`translate`](Self::translate)) on unpopulated addresses.
     fn translate_batch(
         &mut self,
         accesses: &[Access],
         hier: &mut MemoryHierarchy,
-        out: &mut [Outcome],
+        out: &mut OutcomeRows<'_>,
     ) {
-        for (a, o) in accesses.iter().zip(out.iter_mut()) {
+        for (i, a) in accesses.iter().enumerate() {
             let before = hier.stats();
             let tr = self.translate(a.va, hier);
-            o.pte = pte_delta(before, hier.stats());
-            o.tr = tr;
+            out.set_pte(i, pte_delta(before, hier.stats()));
+            out.set_translation(i, &tr);
             let pa = self.data_pa(a.va);
             let (level, cycles) = hier.access(pa.raw());
-            o.data_level = level;
-            o.data_cycles = cycles;
+            out.set_data(i, level, cycles);
         }
     }
 
@@ -332,7 +526,7 @@ impl Rig for Box<dyn Rig> {
         &mut self,
         accesses: &[Access],
         hier: &mut MemoryHierarchy,
-        out: &mut [Outcome],
+        out: &mut OutcomeRows<'_>,
     ) {
         (**self).translate_batch(accesses, hier, out)
     }

@@ -118,6 +118,22 @@ pub const DEFAULT_EPOCH_LEN: usize = 65_536;
 /// straight out of the mapping.
 pub const SPILL_CHUNK_LEN: u64 = 4_096;
 
+/// Which replay engine a [`Runner`] drives.
+///
+/// Both are bit-identical by contract (DESIGN.md §13) — the choice is
+/// purely about speed and what is being measured.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Engine {
+    /// The scalar reference: one `step_access` per trace element. The
+    /// baseline the bench harness measures the batched path against.
+    Scalar,
+    /// The batched fast path: block-probed TLB scan, region-disjoint
+    /// miss runs through `Rig::translate_batch`, column-wise
+    /// reconciliation. The default.
+    #[default]
+    Batched,
+}
+
 /// Builder for [`Runner`]. Every knob has an explicit default: no
 /// wrapper, no telemetry, `results/`, traces held in memory.
 #[derive(Debug, Clone)]
@@ -168,13 +184,19 @@ impl RunnerBuilder {
         self
     }
 
-    /// Use the scalar reference engine (one [`crate::engine::step_access`]
-    /// per element) instead of the batched fast path. Both are
-    /// bit-identical by contract (DESIGN.md §13); the scalar engine is
-    /// the baseline the bench harness measures the batched path against.
-    pub fn scalar_engine(mut self, on: bool) -> Self {
-        self.runner.scalar = on;
+    /// Select the replay engine: the scalar reference or the batched
+    /// fast path (the default). Both are bit-identical by contract
+    /// (DESIGN.md §13).
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.runner.scalar = engine == Engine::Scalar;
         self
+    }
+
+    /// Use the scalar reference engine instead of the batched fast
+    /// path.
+    #[deprecated(since = "0.9.0", note = "use `engine(Engine::Scalar)`")]
+    pub fn scalar_engine(self, on: bool) -> Self {
+        self.engine(if on { Engine::Scalar } else { Engine::Batched })
     }
 
     /// Replay traces across `k` shard workers
@@ -236,6 +258,15 @@ impl Runner {
     /// The epoch length of the sharded-replay barrier schedule.
     pub fn epoch_length(&self) -> usize {
         self.epoch_len
+    }
+
+    /// The engine this runner drives.
+    pub fn engine(&self) -> Engine {
+        if self.scalar {
+            Engine::Scalar
+        } else {
+            Engine::Batched
+        }
     }
 
     /// Whether this runner drives the scalar reference engine instead

@@ -199,7 +199,7 @@ fn run_epoch<P: Probe>(
         }
     } else {
         let mut on_measured = |p: &mut P, r: &dyn Rig, accesses: u64| {
-            if sample_every > 0 && (accesses + offset).is_multiple_of(sample_every) {
+            if (accesses + offset).is_multiple_of(sample_every) {
                 if let Some((frag, rss)) = r.frag_sample() {
                     p.sample(accesses + offset, frag, rss);
                 }
@@ -208,6 +208,11 @@ fn run_epoch<P: Probe>(
         let mut b = 0usize;
         while b < slice.len() {
             let block = &slice[b..(b + BLOCK_SIZE).min(slice.len())];
+            let cb: Option<crate::engine::OnMeasured<'_, P>> = if sample_every > 0 {
+                Some(&mut on_measured)
+            } else {
+                None
+            };
             run_block(
                 rig,
                 block,
@@ -217,7 +222,7 @@ fn run_epoch<P: Probe>(
                 stats,
                 probe,
                 st,
-                &mut on_measured,
+                cb,
             );
             b += BLOCK_SIZE;
         }

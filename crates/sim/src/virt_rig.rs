@@ -1,11 +1,11 @@
 //! The virtualized-environment shell: owns the shared
 //! [`VirtMachine`] and delegates every design-specific decision to the
-//! registry-built [`VirtTranslator`] backend.
+//! registry-built [`VirtBackend`] enum (monomorphic dispatch).
 
-use crate::backends::VirtTranslator;
+use crate::backends::VirtBackend;
 use crate::error::SimError;
 use crate::registry::Arena;
-use crate::rig::{Design, Env, Outcome, RefEntry, Rig, Setup, Translation};
+use crate::rig::{Design, Env, OutcomeRows, RefEntry, Rig, Setup, Translation};
 use dmt_cache::hierarchy::MemoryHierarchy;
 use dmt_mem::buddy::FrameKind;
 use dmt_mem::{PhysAddr, VirtAddr};
@@ -16,7 +16,7 @@ use dmt_workloads::gen::{Access, Workload};
 /// A virtualized machine running one workload under one design.
 pub struct VirtRig {
     m: VirtMachine,
-    backend: Box<dyn VirtTranslator>,
+    backend: VirtBackend,
     design: Design,
 }
 
@@ -150,7 +150,7 @@ impl Rig for VirtRig {
         &mut self,
         accesses: &[Access],
         hier: &mut MemoryHierarchy,
-        out: &mut [Outcome],
+        out: &mut OutcomeRows<'_>,
     ) {
         self.backend.translate_batch(&mut self.m, accesses, hier, out)
     }

@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example nested_cloud`
 
-use dmt::sim::engine::run;
+use dmt::sim::Runner;
 use dmt::sim::nested_rig::NestedRig;
 use dmt::sim::perfmodel::{app_speedup, calib_for};
 use dmt::sim::report::{speedup, Table};
@@ -32,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut base_cycles = 0u64;
     for design in [Design::Vanilla, Design::PvDmt] {
         let mut rig = NestedRig::new(design, false, &gups, &trace)?;
-        let stats = run(&mut rig, &trace, warmup);
+        let stats = Runner::builder().build().replay(&mut rig, &trace, warmup).0;
         if design == Design::Vanilla {
             base_cycles = stats.walk_cycles;
         }

@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example virtualized_kv`
 
-use dmt::sim::engine::run;
+use dmt::sim::Runner;
 use dmt::sim::perfmodel::{app_speedup, calib_for};
 use dmt::sim::report::{speedup, Table};
 use dmt::sim::rig::{Design, Env};
@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut base_cycles = 0u64;
     for design in [Design::Vanilla, Design::Shadow, Design::Dmt, Design::PvDmt] {
         let mut rig = VirtRig::new(design, false, &redis, &trace)?;
-        let stats = run(&mut rig, &trace, warmup);
+        let stats = Runner::builder().build().replay(&mut rig, &trace, warmup).0;
         if design == Design::Vanilla {
             base_cycles = stats.walk_cycles;
         }

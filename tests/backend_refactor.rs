@@ -17,7 +17,7 @@
 //! then commit the updated `tests/golden/backend_cells.json`.
 
 use dmt::sim::report::{telemetry_json, Json};
-use dmt::sim::{Design, Env, Runner, Scale, SweepConfig};
+use dmt::sim::{Design, Engine, Env, Runner, Scale, SweepConfig};
 use dmt::sim::{SimError, Setup};
 
 const ALL_DESIGNS: [Design; 8] = [
@@ -126,7 +126,7 @@ fn per_cell_outcomes_match_pre_refactor_golden() {
 #[test]
 fn scalar_engine_cells_match_the_same_golden() {
     let runner = Runner::builder()
-        .scalar_engine(true)
+        .engine(Engine::Scalar)
         .telemetry(true)
         .rig_wrapper(dmt::oracle::wrapper())
         .build();
@@ -217,7 +217,6 @@ fn registry_cells_construct_iff_available() {
 #[test]
 fn with_translator_runs_the_no_fallback_pwc_ablation() {
     use dmt::sim::backends::dmt::build_native_no_fallback_pwc;
-    use dmt::sim::engine::run;
     use dmt::sim::native_rig::NativeRig;
 
     // A sparse multi-region setup so DMT actually falls back sometimes
@@ -236,8 +235,9 @@ fn with_translator_runs_the_no_fallback_pwc_ablation() {
     use dmt::sim::Rig;
     assert_eq!(ablated.design(), Design::Dmt, "ablations keep the parent design");
 
-    let s_stock = run(&mut stock, &trace, 0);
-    let s_ablated = run(&mut ablated, &trace, 0);
+    let runner = Runner::builder().build();
+    let s_stock = runner.replay(&mut stock, &trace, 0).0;
+    let s_ablated = runner.replay(&mut ablated, &trace, 0).0;
     assert_eq!(s_stock.accesses, s_ablated.accesses);
     assert!(
         s_ablated.walk_cycles >= s_stock.walk_cycles,

@@ -17,7 +17,7 @@
 use dmt::mem::{PageSize, VirtAddr};
 use dmt::sim::report::telemetry_json;
 use dmt::sim::rig::Setup;
-use dmt::sim::{Design, Env, Runner};
+use dmt::sim::{Design, Engine, Env, Runner};
 use dmt::workloads::gen::{Access, Region};
 use proptest::prelude::*;
 
@@ -74,7 +74,7 @@ fn assert_cell_equivalent(
     trace: &[Access],
     warmup: usize,
 ) -> Result<(), String> {
-    let scalar = Runner::builder().scalar_engine(true).telemetry(true).build();
+    let scalar = Runner::builder().engine(Engine::Scalar).telemetry(true).build();
     let batched = Runner::builder().telemetry(true).build();
     let mut runs = Vec::new();
     for (label, runner) in [("scalar", &scalar), ("batched", &batched)] {

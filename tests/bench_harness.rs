@@ -3,9 +3,12 @@
 //! simulation-derived fields must be deterministic run to run (only the
 //! wall-clock timings may differ), and its JSON report must keep the
 //! `dmt-bench-v1` schema that downstream tooling (CI artifact
-//! consumers, the recorded `BENCH_7.json` trajectory) parses.
+//! consumers, the recorded `BENCH_9.json` trajectory) parses — and the
+//! regression gate must scrape the committed baseline correctly.
 
-use dmt_bench::harness::{harness_cells, report_json, run_cell, run_harness};
+use dmt_bench::harness::{
+    baseline_speedups, check_dmt_regression, harness_cells, report_json, run_cell, run_harness,
+};
 use dmt_sim::experiments::Scale;
 use dmt_sim::rig::{Design, Env};
 
@@ -94,4 +97,44 @@ fn report_keeps_the_dmt_bench_v1_schema() {
     ] {
         assert!(json.contains(key), "schema dmt-bench-v1 lost key {key}: {json}");
     }
+}
+
+/// The regression gate round-trips through our own serializer: scraping
+/// a rendered report recovers every cell's (env, design, speedup), and
+/// the gate trips exactly when a DMT cell's ratio falls below the
+/// baseline floor.
+#[test]
+fn regression_gate_scrapes_and_compares_the_baseline() {
+    let mut cell = run_cell(
+        *harness_cells()
+            .iter()
+            .find(|c| matches!((c.env, c.design), (Env::Native, Design::Dmt)))
+            .expect("native/dmt cell"),
+        Scale::test(),
+        1,
+    )
+    .expect("native/dmt cell runs");
+    // Pin the timing fields so the speedup is a known 2.0x.
+    cell.scalar_ns = 2_000;
+    cell.batched_ns = 1_000;
+    let baseline = report_json(std::slice::from_ref(&cell), Scale::test(), "base").to_string();
+
+    let rows = baseline_speedups(&baseline);
+    assert_eq!(rows.len(), 1, "one cell scraped: {rows:?}");
+    assert_eq!(rows[0].0, "Native");
+    assert_eq!(rows[0].1, "DMT");
+    assert!((rows[0].2 - 2.0).abs() < 1e-9, "speedup scraped: {}", rows[0].2);
+
+    // Same ratio: passes at any tolerance <= 1.
+    check_dmt_regression(std::slice::from_ref(&cell), &baseline, 1.0).expect("no regression");
+    // Collapse the batch ratio below the floor: the gate trips and
+    // names the cell.
+    let mut slow = cell.clone();
+    slow.batched_ns = 10_000; // 0.2x vs the 2.0x baseline
+    let err = check_dmt_regression(std::slice::from_ref(&slow), &baseline, 0.6)
+        .expect_err("regressed ratio must trip the gate");
+    let msg = err.to_string();
+    assert!(msg.contains("Native") && msg.contains("DMT"), "{msg}");
+    // Cells missing from the baseline are skipped, not failed.
+    check_dmt_regression(std::slice::from_ref(&cell), "{}", 1.0).expect("no baseline rows");
 }

@@ -7,7 +7,7 @@
 use dmt::sim::cloudnode::{NodeConfig, Tagging, TenantSpec};
 use dmt::sim::experiments::{scaled_benchmark, Scale};
 use dmt::sim::rig::{Design, Env};
-use dmt::sim::Runner;
+use dmt::sim::{Engine, Runner};
 use dmt::telemetry::Counter;
 
 /// Small enough for the suite, big enough that the TLB/PWC see real
@@ -155,7 +155,7 @@ fn scalar_and_batched_node_engines_agree() {
     for design in [Design::Dmt, Design::Vanilla] {
         let cfg = mixed_node(design);
         let batched = Runner::builder().telemetry(true).build();
-        let scalar = Runner::builder().scalar_engine(true).telemetry(true).build();
+        let scalar = Runner::builder().engine(Engine::Scalar).telemetry(true).build();
         let (b_stats, b_tel) = batched.run_node(&cfg).expect("batched node");
         let (s_stats, s_tel) = scalar.run_node(&cfg).expect("scalar node");
         assert_eq!(

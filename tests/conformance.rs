@@ -158,7 +158,8 @@ fn oracle_env_hook_wraps_experiment_rigs() {
         (Env::Virt, Design::PvDmt),
         (Env::Nested, Design::Vanilla),
     ] {
-        let m = dmt::sim::experiments::run_one(env, design, false, &w, scale)
+        let m = dmt::sim::Runner::from_env()
+            .run_one(env, design, false, &w, scale)
             .unwrap_or_else(|e| panic!("{env:?}/{design:?}: {e}"));
         assert!(m.stats.accesses > 0);
     }

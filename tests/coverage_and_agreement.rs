@@ -3,7 +3,7 @@
 //! on the final physical address for every access.
 
 use dmt::cache::hierarchy::MemoryHierarchy;
-use dmt::sim::engine::run;
+use dmt::sim::Runner;
 use dmt::sim::rig::{Design, Env, Rig};
 use dmt::sim::virt_rig::VirtRig;
 use dmt::sim::native_rig::NativeRig;
@@ -21,12 +21,12 @@ fn dmt_fetcher_covers_99_percent_even_for_memcached() {
         let coverage = match env {
             Env::Native => {
                 let mut rig = NativeRig::new(Design::Dmt, false, &w, &trace).unwrap();
-                run(&mut rig, &trace, 2_000);
+                Runner::builder().build().replay(&mut rig, &trace, 2_000);
                 rig.coverage()
             }
             _ => {
                 let mut rig = VirtRig::new(Design::PvDmt, false, &w, &trace).unwrap();
-                run(&mut rig, &trace, 2_000);
+                Runner::builder().build().replay(&mut rig, &trace, 2_000);
                 rig.coverage()
             }
         };

@@ -4,7 +4,7 @@
 //! what makes sweep results reproducible and the oracle's divergence
 //! indices stable across reruns.
 
-use dmt::sim::engine::{run, run_probed, RunStats};
+use dmt::sim::RunStats;
 use dmt::sim::native_rig::NativeRig;
 use dmt::sim::sweep::{matrix, SweepConfig};
 use dmt::sim::Runner;
@@ -22,7 +22,7 @@ fn native_cell(design: Design) -> (RunStats, u64) {
     };
     let trace = w.trace(6_000, SEED);
     let mut rig = NativeRig::new(design, false, &w, &trace).unwrap();
-    let stats = run(&mut rig, &trace, 1_000);
+    let stats = Runner::builder().build().replay(&mut rig, &trace, 1_000).0;
     (stats, rig.phys().buddy().state_hash())
 }
 
@@ -32,7 +32,7 @@ fn virt_cell() -> (RunStats, u64) {
     };
     let trace = w.trace(4_000, SEED);
     let mut rig = VirtRig::new(Design::PvDmt, false, &w, &trace).unwrap();
-    let stats = run(&mut rig, &trace, 1_000);
+    let stats = Runner::builder().build().replay(&mut rig, &trace, 1_000).0;
     (stats, rig.machine().pm.buddy().state_hash())
 }
 
@@ -59,8 +59,11 @@ fn native_cell_probed(design: Design) -> (RunStats, u64, Telemetry) {
     };
     let trace = w.trace(6_000, SEED);
     let mut rig = NativeRig::new(design, false, &w, &trace).unwrap();
-    let mut t = Telemetry::with_interval(1_000);
-    let stats = run_probed(&mut rig, &trace, 1_000, &mut t);
+    let (stats, t) = Runner::builder()
+        .telemetry(true)
+        .build()
+        .replay_sampled(&mut rig, &trace, 1_000, 1_000);
+    let t = t.expect("telemetry-on runner must capture");
     (stats, rig.phys().buddy().state_hash(), t)
 }
 

@@ -2,9 +2,23 @@
 //! qualitative shapes the paper reports. Absolute factors need the full
 //! scale (see EXPERIMENTS.md); these tests pin the *orderings*.
 
-use dmt::sim::experiments::{fig16, fig4, run_one, scaled_benchmark, Scale};
+use dmt::sim::experiments::{fig16, fig4, scaled_benchmark, Measurement, Scale};
 use dmt::sim::perfmodel::geomean;
 use dmt::sim::rig::{Design, Env};
+use dmt::sim::{Runner, SimError};
+use dmt::workloads::gen::Workload;
+
+/// One sweep cell through the unified entry point (what the retired
+/// `experiments::run_one` shim used to forward to).
+fn run_one(
+    env: Env,
+    design: Design,
+    thp: bool,
+    w: &dyn Workload,
+    scale: Scale,
+) -> Result<Measurement, SimError> {
+    Runner::from_env().run_one(env, design, thp, w, scale)
+}
 
 fn small() -> Scale {
     Scale {

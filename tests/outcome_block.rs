@@ -1,0 +1,210 @@
+//! Property suite for the SoA [`OutcomeBlock`] redesign (DESIGN.md §13,
+//! "backend API v2"): the column store must be a lossless transpose of
+//! the row-oriented [`Outcome`], window writes through [`OutcomeRows`]
+//! must land at the right absolute rows, and the batched engine's
+//! column-wise reconciliation must equal a per-element walk of the same
+//! rows — including fault rows, partial warmup fills, and the
+//! 1/255/256/257 block-boundary lengths.
+
+use dmt::cache::hierarchy::HitLevel;
+use dmt::mem::{PageSize, PhysAddr};
+use dmt::sim::{Outcome, OutcomeBlock, RunStats, Translation};
+use proptest::prelude::*;
+
+fn arb_outcome() -> impl Strategy<Value = Outcome> {
+    (
+        (any::<u64>(), 0u8..3, 0u64..5_000),
+        (0u64..32, any::<bool>(), 0u8..4, 0u64..1_000),
+        (0u64..8, 0u64..8, 0u64..8, 0u64..8),
+    )
+        .prop_map(
+            |(
+                (pa, size, cycles),
+                (refs, fallback, level, data_cycles),
+                (p0, p1, p2, p3),
+            )| Outcome {
+                tr: Translation {
+                    pa: PhysAddr(pa),
+                    size: match size {
+                        0 => PageSize::Size4K,
+                        1 => PageSize::Size2M,
+                        _ => PageSize::Size1G,
+                    },
+                    cycles,
+                    refs,
+                    fallback,
+                },
+                data_level: match level {
+                    0 => HitLevel::L1,
+                    1 => HitLevel::L2,
+                    2 => HitLevel::Llc,
+                    _ => HitLevel::Dram,
+                },
+                data_cycles,
+                pte: [p0, p1, p2, p3],
+            },
+        )
+}
+
+/// A pool of rows plus a length selector. Half the cases pin the
+/// engine's 256-access block boundary (1/255/256/257); the rest are
+/// arbitrary interior sizes. The pool is generated one past the largest
+/// length so truncation always has rows to drop.
+fn arb_rows() -> impl Strategy<Value = Vec<Outcome>> {
+    (prop::collection::vec(arb_outcome(), 258..300), 0usize..8).prop_map(|(mut pool, k)| {
+        let n = match k {
+            0 => 1,
+            1 => 255,
+            2 => 256,
+            3 => 257,
+            _ => 2 + (pool.len() - 2) % 251,
+        };
+        pool.truncate(n);
+        pool
+    })
+}
+
+/// What the batched engine's fast path does with a finished block: sum
+/// the data-access column over the measured suffix, then fold each
+/// missing row's translation columns in (walks, cycles, refs, faults).
+#[allow(clippy::needless_range_loop)] // j indexes two parallel slices
+fn reconcile_columns(b: &OutcomeBlock, miss: &[bool], measured_from: usize) -> RunStats {
+    let mut s = RunStats::default();
+    if measured_from < b.len() {
+        s.accesses += (b.len() - measured_from) as u64;
+        s.data_cycles += b.data_cycles[measured_from..].iter().sum::<u64>();
+        for j in measured_from..b.len() {
+            if miss[j] {
+                s.walks += 1;
+                s.walk_cycles += b.cycles[j];
+                s.walk_refs += b.refs[j];
+                if b.fault[j] {
+                    s.fallbacks += 1;
+                }
+            }
+        }
+    }
+    s
+}
+
+/// The scalar reference: visit rows one at a time, in element order,
+/// reading whole [`Outcome`]s back out of the block.
+#[allow(clippy::needless_range_loop)] // j indexes two parallel slices
+fn reconcile_rows(b: &OutcomeBlock, miss: &[bool], measured_from: usize) -> RunStats {
+    let mut s = RunStats::default();
+    for j in 0..b.len() {
+        if j < measured_from {
+            continue;
+        }
+        let o = b.get(j);
+        s.accesses += 1;
+        s.data_cycles += o.data_cycles;
+        if miss[j] {
+            s.walks += 1;
+            s.walk_cycles += o.tr.cycles;
+            s.walk_refs += o.tr.refs;
+            if o.tr.fallback {
+                s.fallbacks += 1;
+            }
+        }
+    }
+    s
+}
+
+fn filled(rows: &[Outcome]) -> OutcomeBlock {
+    let mut b = OutcomeBlock::default();
+    b.reset(rows.len());
+    for (i, o) in rows.iter().enumerate() {
+        b.set(i, o);
+    }
+    b
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `set`/`get` transpose rows to columns and back losslessly.
+    #[test]
+    fn rows_round_trip_through_the_columns(rows in arb_rows()) {
+        let b = filled(&rows);
+        prop_assert_eq!(b.len(), rows.len());
+        for (i, o) in rows.iter().enumerate() {
+            prop_assert_eq!(&b.get(i), o, "row {} mangled by the SoA transpose", i);
+        }
+    }
+
+    /// Writing a run through an `OutcomeRows` window (run-relative
+    /// indices, split setters) is the same as writing whole rows at
+    /// absolute indices.
+    #[test]
+    fn window_writes_land_at_absolute_rows(rows in arb_rows(), split in any::<u64>()) {
+        let n = rows.len();
+        let mid = (split % (n as u64 + 1)) as usize;
+        let direct = filled(&rows);
+
+        let mut windowed = OutcomeBlock::default();
+        windowed.reset(n);
+        for (start, end) in [(0, mid), (mid, n)] {
+            let mut view = windowed.rows(start..end);
+            prop_assert_eq!(view.len(), end - start);
+            for i in 0..view.len() {
+                let o = &rows[start + i];
+                view.set_translation(i, &o.tr);
+                view.set_data(i, o.data_level, o.data_cycles);
+                view.set_pte(i, o.pte);
+            }
+        }
+        for i in 0..n {
+            prop_assert_eq!(windowed.get(i), direct.get(i), "row {}", i);
+        }
+    }
+
+    /// Column-wise reconciliation (sum the suffix, fold the miss rows)
+    /// is bit-identical to the per-element reference — every RunStats
+    /// field is a commutative u64 sum, so the traversal order cannot
+    /// matter. Covers fault rows and partial warmup fills.
+    #[test]
+    fn column_reconcile_equals_per_element_reconcile(
+        rows in arb_rows(),
+        miss_bits in prop::collection::vec(any::<bool>(), 300),
+        from_sel in any::<u64>(),
+    ) {
+        let b = filled(&rows);
+        let miss = &miss_bits[..rows.len()];
+        let measured_from = (from_sel % (rows.len() as u64 + 1)) as usize;
+        let cols = reconcile_columns(&b, miss, measured_from);
+        let elems = reconcile_rows(&b, miss, measured_from);
+        prop_assert_eq!(cols, elems);
+    }
+}
+
+#[test]
+fn reset_clears_stale_rows_at_every_boundary_length() {
+    let mut b = OutcomeBlock::default();
+    let poison = Outcome {
+        tr: Translation {
+            pa: PhysAddr(u64::MAX),
+            size: PageSize::Size1G,
+            cycles: 9,
+            refs: 9,
+            fallback: true,
+        },
+        data_level: HitLevel::Dram,
+        data_cycles: 9,
+        pte: [9; 4],
+    };
+    for n in [1usize, 255, 256, 257] {
+        b.reset(n);
+        for i in 0..n {
+            b.set(i, &poison);
+        }
+        b.reset(n);
+        assert_eq!(b.len(), n);
+        assert!(!b.is_empty());
+        for i in 0..n {
+            assert_eq!(b.get(i), Outcome::default(), "len {n}, row {i} kept stale data");
+        }
+    }
+    b.reset(0);
+    assert!(b.is_empty());
+}

@@ -1,12 +1,12 @@
-//! The `Runner` API redesign: migration shims must be bit-identical to
-//! the unified entry point, the builder's knobs must behave, and the
-//! disk-spill trace store must replay exactly like the in-memory one.
+//! The `Runner` API surface: the two engines must be bit-identical on
+//! the same seeded cell, the deprecated `scalar_engine` flag must
+//! forward to the typed `engine(..)` selector, the builder's knobs must
+//! behave, and the disk-spill trace store must replay exactly like the
+//! in-memory one.
 
-use dmt::sim::engine::{run, run_probed, RunStats};
 use dmt::sim::native_rig::NativeRig;
 use dmt::sim::sweep::SweepConfig;
-use dmt::sim::{Design, Env, Runner, Scale, SimError};
-use dmt::telemetry::NoopProbe;
+use dmt::sim::{Design, Engine, Env, Runner, RunStats, Scale, SimError};
 use dmt::workloads::bench7::Gups;
 use dmt::workloads::gen::Workload;
 
@@ -16,49 +16,63 @@ fn cell_workload() -> Gups {
     }
 }
 
-/// The raw engine loop, driven directly — the pre-redesign reference
-/// for what `engine::run` (now a shim over `Runner::replay`) returns.
-fn reference_stats(design: Design) -> RunStats {
+/// Replay one seeded native cell through the requested engine.
+fn replay_with(engine: Engine, design: Design) -> RunStats {
     let w = cell_workload();
     let trace = w.trace(6_000, 0xD317 ^ design as u64);
     let mut rig = NativeRig::new(design, false, &w, &trace).unwrap();
-    run_probed(&mut rig, &trace, 1_000, &mut NoopProbe)
+    Runner::builder()
+        .engine(engine)
+        .build()
+        .replay(&mut rig, &trace, 1_000)
+        .0
 }
 
 #[test]
-fn engine_run_shim_is_bit_identical_to_runner_replay() {
+fn batched_and_scalar_engines_are_bit_identical() {
     for design in [Design::Vanilla, Design::Dmt] {
-        let w = cell_workload();
-        let trace = w.trace(6_000, 0xD317 ^ design as u64);
-
-        let mut rig = NativeRig::new(design, false, &w, &trace).unwrap();
-        let via_shim = run(&mut rig, &trace, 1_000);
-
-        let mut rig = NativeRig::new(design, false, &w, &trace).unwrap();
-        let (via_runner, telemetry) =
-            Runner::builder().build().replay(&mut rig, &trace, 1_000);
-
-        assert_eq!(via_shim, via_runner, "{design:?}: shim diverged from Runner");
-        assert_eq!(via_shim, reference_stats(design), "{design:?}: shim diverged from raw engine");
-        assert!(telemetry.is_none(), "default runner must not capture telemetry");
+        let batched = replay_with(Engine::Batched, design);
+        let scalar = replay_with(Engine::Scalar, design);
+        assert_eq!(batched, scalar, "{design:?}: engines diverged");
     }
+    // The batched engine is the default.
+    assert_eq!(Runner::builder().build().engine(), Engine::Batched);
 }
 
 #[test]
-fn run_one_shim_is_bit_identical_to_runner_run_one() {
+#[allow(deprecated)]
+fn deprecated_scalar_engine_flag_forwards_to_the_engine_enum() {
+    assert_eq!(Runner::builder().scalar_engine(true).build().engine(), Engine::Scalar);
+    assert_eq!(Runner::builder().scalar_engine(false).build().engine(), Engine::Batched);
+    let via_shim = {
+        let w = cell_workload();
+        let trace = w.trace(6_000, 0xD317 ^ Design::Dmt as u64);
+        let mut rig = NativeRig::new(Design::Dmt, false, &w, &trace).unwrap();
+        Runner::builder()
+            .scalar_engine(true)
+            .build()
+            .replay(&mut rig, &trace, 1_000)
+            .0
+    };
+    assert_eq!(via_shim, replay_with(Engine::Scalar, Design::Dmt));
+}
+
+#[test]
+fn run_one_is_seed_deterministic_across_runner_instances() {
     let w = cell_workload();
     let scale = Scale::test();
     for (env, design) in [(Env::Native, Design::Dmt), (Env::Virt, Design::PvDmt)] {
-        let shim =
-            dmt::sim::experiments::run_one_with_telemetry(env, design, false, &w, scale, false)
-                .unwrap();
-        let direct = Runner::builder()
+        let a = Runner::builder()
             .build()
             .run_one(env, design, false, &w, scale)
             .unwrap();
-        assert_eq!(shim.stats, direct.stats, "{env:?}/{design:?}");
-        assert_eq!(shim.coverage.to_bits(), direct.coverage.to_bits());
-        assert_eq!(shim.workload, direct.workload);
+        let b = Runner::builder()
+            .build()
+            .run_one(env, design, false, &w, scale)
+            .unwrap();
+        assert_eq!(a.stats, b.stats, "{env:?}/{design:?}");
+        assert_eq!(a.coverage.to_bits(), b.coverage.to_bits());
+        assert_eq!(a.workload, b.workload);
     }
 }
 

@@ -11,7 +11,7 @@
 //! `shards` job with `--include-ignored`.
 
 use dmt::sim::shard::ShardSource;
-use dmt::sim::{Design, Env, Runner, Setup};
+use dmt::sim::{Design, Engine, Env, Runner, Setup};
 use dmt::telemetry::Telemetry;
 use dmt::trace::TraceFile;
 use dmt::workloads::bench7::Gups;
@@ -130,7 +130,7 @@ fn sharded_replay_matches_the_scalar_reference() {
     // here runs the scalar one. Equality composes the PR 7 contract
     // (batched == scalar per segment) with the shard merge proof.
     let cell = gups_cell(6_000, 500);
-    let scalar = Runner::builder().scalar_engine(true).epoch_len(EPOCH).build();
+    let scalar = Runner::builder().engine(Engine::Scalar).epoch_len(EPOCH).build();
     let (ref_stats, _, ref_hash) = serial_reference(
         &scalar,
         Env::Native,

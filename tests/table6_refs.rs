@@ -4,7 +4,7 @@
 
 use dmt::cache::hierarchy::MemoryHierarchy;
 use dmt::mem::VirtAddr;
-use dmt::sim::engine::run;
+use dmt::sim::Runner;
 use dmt::sim::native_rig::NativeRig;
 use dmt::sim::nested_rig::NestedRig;
 use dmt::sim::rig::{Design, Env};
@@ -29,15 +29,15 @@ fn measured_refs(env: Env, design: Design) -> f64 {
     let stats = match env {
         Env::Native => {
             let mut rig = NativeRig::new(design, false, &w, &trace).unwrap();
-            run(&mut rig, &trace, 500)
+            Runner::builder().build().replay(&mut rig, &trace, 500).0
         }
         Env::Virt => {
             let mut rig = VirtRig::new(design, false, &w, &trace).unwrap();
-            run(&mut rig, &trace, 500)
+            Runner::builder().build().replay(&mut rig, &trace, 500).0
         }
         Env::Nested => {
             let mut rig = NestedRig::new(design, false, &w, &trace).unwrap();
-            run(&mut rig, &trace, 500)
+            Runner::builder().build().replay(&mut rig, &trace, 500).0
         }
     };
     stats.avg_refs()
