@@ -1,7 +1,7 @@
 //! Measure the batched engine against the scalar reference and record
 //! the trajectory: replays the harness slice (see
 //! [`dmt_bench::harness`]), prints a per-cell summary, and writes
-//! `BENCH_9.json` (schema `dmt-bench-v1`) into the output directory
+//! `BENCH_10.json` (schema `dmt-bench-v1`) into the output directory
 //! (first CLI argument, default the current directory).
 //!
 //! `DMT_FULL=1` runs the paper-regime scale; the default is the reduced
@@ -39,10 +39,10 @@ fn main() {
         );
     }
     let json = report_json(&results, scale, &git_commit());
-    match json.write_json_in(std::path::Path::new(&out_dir), "BENCH_9") {
+    match json.write_json_in(std::path::Path::new(&out_dir), "BENCH_10") {
         Ok(path) => println!("wrote {}", path.display()),
         Err(e) => {
-            eprintln!("perf_harness: writing BENCH_9.json: {e}");
+            eprintln!("perf_harness: writing BENCH_10.json: {e}");
             std::process::exit(1);
         }
     }

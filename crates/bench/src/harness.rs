@@ -6,7 +6,7 @@
 //! [`RunStats`] (the hard correctness gate) before reporting wall-clock
 //! replay throughput, and replays once more under telemetry for the
 //! walk/data latency percentiles. The report serializes as schema
-//! `dmt-bench-v1` (`BENCH_9.json`): all simulation-derived fields are
+//! `dmt-bench-v1` (`BENCH_10.json`): all simulation-derived fields are
 //! deterministic; only the `*_ns`/throughput timing fields vary run to
 //! run, which `tests/bench_harness.rs` pins.
 
@@ -28,7 +28,8 @@ pub struct HarnessCell {
 
 /// The fixed slice the harness sweeps: GUPS (the TLB-thrashing
 /// random-access kernel — the regime batching targets) across the
-/// native and single-level-virtualized baselines and DMT.
+/// native and single-level-virtualized baselines, DMT, and the
+/// beyond-the-paper non-radix designs (VBI, Seg).
 pub fn harness_cells() -> Vec<HarnessCell> {
     const GUPS: usize = 2;
     vec![
@@ -36,6 +37,10 @@ pub fn harness_cells() -> Vec<HarnessCell> {
         HarnessCell { env: Env::Native, design: Design::Dmt, bench: GUPS },
         HarnessCell { env: Env::Virt, design: Design::Vanilla, bench: GUPS },
         HarnessCell { env: Env::Virt, design: Design::Dmt, bench: GUPS },
+        HarnessCell { env: Env::Native, design: Design::Vbi, bench: GUPS },
+        HarnessCell { env: Env::Virt, design: Design::Vbi, bench: GUPS },
+        HarnessCell { env: Env::Native, design: Design::Seg, bench: GUPS },
+        HarnessCell { env: Env::Virt, design: Design::Seg, bench: GUPS },
     ]
 }
 

@@ -35,6 +35,23 @@ pub struct LevelConfig {
     pub latency: u64,
 }
 
+/// An optional fast/slow split of main memory (tiered / hybrid DRAM).
+///
+/// The tier of a line is decided purely by physical placement: frames
+/// below `fast_bytes` are the fast tier (served at the hierarchy's
+/// `dram_latency`), frames at or above it are the slow tier (served at
+/// `slow_latency`). Allocator placement — and page migration, e.g.
+/// DMT's TEA compaction moving frames across the boundary — therefore
+/// decides what each access costs. `None` (the default) is the flat
+/// model and is bit-identical to the pre-tier code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramTiers {
+    /// Physical bytes in the fast tier (addresses `< fast_bytes`).
+    pub fast_bytes: u64,
+    /// Round-trip latency in cycles of the slow tier.
+    pub slow_latency: u64,
+}
+
 /// Configuration of the full hierarchy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HierarchyConfig {
@@ -44,8 +61,11 @@ pub struct HierarchyConfig {
     pub l2: LevelConfig,
     /// Shared last-level cache.
     pub llc: LevelConfig,
-    /// Main-memory round-trip latency in cycles.
+    /// Main-memory round-trip latency in cycles (the fast tier's, when
+    /// [`tiers`](Self::tiers) is set).
     pub dram_latency: u64,
+    /// Optional fast/slow DRAM tier split; `None` = flat DRAM.
+    pub tiers: Option<DramTiers>,
 }
 
 impl HierarchyConfig {
@@ -70,6 +90,7 @@ impl HierarchyConfig {
                 latency: 54,
             },
             dram_latency: 200,
+            tiers: None,
         }
     }
 
@@ -92,7 +113,14 @@ impl HierarchyConfig {
                 latency: 54,
             },
             dram_latency: 200,
+            tiers: None,
         }
+    }
+
+    /// This configuration with a fast/slow DRAM split installed.
+    pub fn with_tiers(mut self, tiers: DramTiers) -> Self {
+        self.tiers = Some(tiers);
+        self
     }
 }
 
@@ -113,6 +141,8 @@ pub struct HierarchyStats {
     pub llc_hits: u64,
     /// Accesses served by DRAM.
     pub dram_accesses: u64,
+    /// Of those, accesses served by the slow tier (0 when flat).
+    pub dram_slow_accesses: u64,
 }
 
 impl HierarchyStats {
@@ -177,6 +207,12 @@ impl MemoryHierarchy {
             return (HitLevel::Llc, self.config.llc.latency);
         }
         self.stats.dram_accesses += 1;
+        if let Some(t) = self.config.tiers {
+            if paddr >= t.fast_bytes {
+                self.stats.dram_slow_accesses += 1;
+                return (HitLevel::Dram, t.slow_latency);
+            }
+        }
         (HitLevel::Dram, self.config.dram_latency)
     }
 
@@ -315,6 +351,39 @@ mod tests {
         h.flush();
         let (lvl, _) = h.access(0);
         assert_eq!(lvl, HitLevel::Dram);
+    }
+
+    #[test]
+    fn tiered_dram_charges_by_physical_placement() {
+        let cfg = HierarchyConfig::tiny().with_tiers(DramTiers {
+            fast_bytes: 1 << 20,
+            slow_latency: 350,
+        });
+        let mut h = MemoryHierarchy::new(cfg);
+        let (lvl, cyc) = h.access(0x1000); // fast tier
+        assert_eq!((lvl, cyc), (HitLevel::Dram, 200));
+        let (lvl, cyc) = h.access(2 << 20); // slow tier
+        assert_eq!((lvl, cyc), (HitLevel::Dram, 350));
+        let s = h.stats();
+        assert_eq!(s.dram_accesses, 2);
+        assert_eq!(s.dram_slow_accesses, 1);
+        // Tier only changes the DRAM charge, never cache behavior:
+        // the slow line hits L1 on re-access like any other.
+        let (lvl, _) = h.access(2 << 20);
+        assert_eq!(lvl, HitLevel::L1);
+    }
+
+    #[test]
+    fn flat_dram_is_bit_identical_with_no_tier_config() {
+        let mut flat = MemoryHierarchy::new(HierarchyConfig::tiny());
+        let mut also_flat = MemoryHierarchy::new(HierarchyConfig::tiny());
+        for line in 0..512u64 {
+            let a = flat.access((line * 7919) << LINE_SHIFT);
+            let b = also_flat.access((line * 7919) << LINE_SHIFT);
+            assert_eq!(a, b);
+        }
+        assert_eq!(flat.stats(), also_flat.stats());
+        assert_eq!(flat.stats().dram_slow_accesses, 0);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! makes THP improve TLB reach in the experiments.
 
 use crate::set_assoc::SetAssoc;
-use dmt_mem::{PageSize, VirtAddr};
+use dmt_mem::{PageSize, TransUnit, VirtAddr};
 
 /// Where a TLB lookup hit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,6 +95,23 @@ impl TlbStats {
 const ASID_SHIFT: u32 = 48;
 const KEY_MASK: u64 = (1 << ASID_SHIFT) - 1;
 
+/// Capacity of the fully-associative variable-reach unit array. Small
+/// on purpose: a unit entry covers a whole VBI block or segmentation
+/// VMA, so a handful give the same reach as thousands of page entries.
+const UNIT_ENTRIES: usize = 16;
+
+/// One variable-reach entry: a [`TransUnit`] tagged with its address
+/// space, LRU-stamped for replacement within the unit array.
+#[derive(Debug, Clone, Copy)]
+struct UnitEntry {
+    /// Address-space tag, pre-shifted (`asid << ASID_SHIFT`).
+    tag: u64,
+    /// The covered virtual reach.
+    unit: TransUnit,
+    /// LRU stamp (larger = more recently used).
+    stamp: u64,
+}
+
 /// A two-level TLB: per-page-size L1 arrays backed by a shared STLB.
 ///
 /// Entries are tagged with the current address-space id (ASID in native,
@@ -116,6 +133,14 @@ pub struct Tlb {
     /// whole per-size passes over a block when no entry of that size is
     /// resident (the common case: most workloads touch one page size).
     stlb_residency: [u64; 3],
+    /// Fully-associative variable-reach entries (VBI blocks,
+    /// segmentation VMAs). Empty unless a design calls
+    /// [`fill_unit`](Self::fill_unit), and every consultation is guarded
+    /// by that emptiness — fixed-page designs are bit-identical to the
+    /// pre-unit TLB.
+    units: Vec<UnitEntry>,
+    /// Monotonic LRU clock for the unit array.
+    unit_clock: u64,
     stats: TlbStats,
     asid: u16,
 }
@@ -130,6 +155,8 @@ impl Tlb {
             l1_1g: l1(),
             stlb: SetAssoc::with_capacity(config.stlb_entries, config.stlb_ways),
             stlb_residency: [0; 3],
+            units: Vec::new(),
+            unit_clock: 0,
             stats: TlbStats::default(),
             asid: 0,
         }
@@ -167,6 +194,57 @@ impl Tlb {
         (va.vpn_for(size) << 2) | size.encode() as u64 | self.tag()
     }
 
+    /// Index of the current-tag unit entry containing `va`, if any.
+    /// Same-tag entries never overlap ([`fill_unit`](Self::fill_unit)
+    /// evicts overlaps), so at most one matches.
+    fn unit_index(&self, va: VirtAddr) -> Option<usize> {
+        let tag = self.tag();
+        self.units
+            .iter()
+            .position(|e| e.tag == tag && e.unit.contains(va))
+    }
+
+    /// Install a variable-reach translation unit (a VBI block or a
+    /// segmentation VMA) in the current address space.
+    ///
+    /// Newer mappings win: any same-tag entry overlapping the new reach
+    /// — including page-granular entries whose 4 KiB pages fall inside
+    /// it — stays untouched in the per-size arrays (they describe the
+    /// same mapping if the design is coherent), but any overlapping
+    /// *unit* entry is evicted first, so a stale wide reach can never
+    /// shadow a newer shorter one. When the array is full, the LRU
+    /// entry is replaced.
+    pub fn fill_unit(&mut self, unit: TransUnit) {
+        let tag = self.tag();
+        self.units
+            .retain(|e| !(e.tag == tag && e.unit.overlaps(unit)));
+        if self.units.len() >= UNIT_ENTRIES {
+            let lru = self
+                .units
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(i, _)| i)
+                .expect("array is full, hence non-empty");
+            self.units.swap_remove(lru);
+        }
+        self.unit_clock += 1;
+        self.units.push(UnitEntry {
+            tag,
+            unit,
+            stamp: self.unit_clock,
+        });
+    }
+
+    /// Every resident unit entry with its address-space tag. Read-only;
+    /// the coherence audits' window into the unit array.
+    pub fn unit_entries_tagged(&self) -> Vec<(u16, TransUnit)> {
+        self.units
+            .iter()
+            .map(|e| ((e.tag >> ASID_SHIFT) as u16, e.unit))
+            .collect()
+    }
+
     /// Switch the TLB to another address space. Resident entries stay;
     /// lookups only see entries whose tag matches (tagged-hardware
     /// context switch — no flush).
@@ -185,6 +263,11 @@ impl Tlb {
     pub fn flush_asid(&mut self, asid: u16) -> u64 {
         let tag = (asid as u64) << ASID_SHIFT;
         let mut n = 0u64;
+        if !self.units.is_empty() {
+            let before = self.units.len();
+            self.units.retain(|e| e.tag != tag);
+            n += (before - self.units.len()) as u64;
+        }
         for arr in [&mut self.l1_4k, &mut self.l1_2m, &mut self.l1_1g] {
             let victims: Vec<u64> = arr
                 .keys()
@@ -238,6 +321,19 @@ impl Tlb {
     /// Probe all page sizes at once, as hardware does when the mapping
     /// size is unknown. Counts a single lookup in the stats.
     pub fn lookup_any(&mut self, va: VirtAddr) -> Option<(TlbHit, PageSize)> {
+        // Variable-reach unit entries first (fully associative, so they
+        // answer before any set scan — and the guard keeps fixed-page
+        // designs, which never fill units, bit-identical). A unit hit
+        // counts as an L1 hit; the reported size is nominal (callers
+        // consume the size only on the fill path, never on hits).
+        if !self.units.is_empty() {
+            if let Some(i) = self.unit_index(va) {
+                self.unit_clock += 1;
+                self.units[i].stamp = self.unit_clock;
+                self.stats.l1_hits += 1;
+                return Some((TlbHit::L1, PageSize::Size4K));
+            }
+        }
         // L1 arrays first (all sizes), then the STLB.
         for size in [PageSize::Size1G, PageSize::Size2M, PageSize::Size4K] {
             let key = self.l1_key(va, size);
@@ -264,6 +360,9 @@ impl Tlb {
     /// batched engine uses it to classify a block's accesses up front,
     /// then replays the stateful lookups in scalar order.
     pub fn probe_any(&self, va: VirtAddr) -> bool {
+        if !self.units.is_empty() && self.unit_index(va).is_some() {
+            return true;
+        }
         for size in [PageSize::Size1G, PageSize::Size2M, PageSize::Size4K] {
             if self.l1_ref(size).contains(self.l1_key(va, size)) {
                 return true;
@@ -296,6 +395,21 @@ impl Tlb {
     pub fn probe_block(&self, vas: &[VirtAddr], hits: &mut [bool]) {
         debug_assert_eq!(vas.len(), hits.len());
         hits.fill(false);
+        // Unit pass first, entry-major: the array is tiny (≤ 16), so
+        // one sweep per resident entry beats a per-VA linear scan.
+        if !self.units.is_empty() {
+            let tag = self.tag();
+            for e in &self.units {
+                if e.tag != tag {
+                    continue;
+                }
+                for (i, &va) in vas.iter().enumerate() {
+                    if !hits[i] && e.unit.contains(va) {
+                        hits[i] = true;
+                    }
+                }
+            }
+        }
         for size in [PageSize::Size1G, PageSize::Size2M, PageSize::Size4K] {
             let arr = self.l1_ref(size);
             if arr.occupancy() == 0 {
@@ -355,6 +469,15 @@ impl Tlb {
 
     /// Install a translation after a completed page walk.
     pub fn fill(&mut self, va: VirtAddr, size: PageSize) {
+        // Newer mappings win: a page-granular fill inside a resident
+        // unit reach means the wide mapping was split or replaced, so
+        // the stale unit must not keep shadowing the new entry.
+        if !self.units.is_empty() {
+            let tag = self.tag();
+            let base = va.align_down(size);
+            self.units
+                .retain(|e| !(e.tag == tag && e.unit.overlaps_range(base, size.bytes())));
+        }
         let key = self.l1_key(va, size);
         let skey = self.stlb_key(va, size);
         self.l1_for(size).insert(key);
@@ -373,7 +496,16 @@ impl Tlb {
     }
 
     /// Invalidate one translation (e.g. on `munmap` or PTE change).
+    /// Any current-tag unit reach overlapping the invalidated page is
+    /// shot down with it — a unit entry must never outlive part of its
+    /// mapping.
     pub fn invalidate(&mut self, va: VirtAddr, size: PageSize) {
+        if !self.units.is_empty() {
+            let tag = self.tag();
+            let base = va.align_down(size);
+            self.units
+                .retain(|e| !(e.tag == tag && e.unit.overlaps_range(base, size.bytes())));
+        }
         let key = self.l1_key(va, size);
         let skey = self.stlb_key(va, size);
         self.l1_for(size).invalidate(key);
@@ -389,6 +521,8 @@ impl Tlb {
         self.l1_1g.flush();
         self.stlb.flush();
         self.stlb_residency = [0; 3];
+        self.units.clear();
+        self.unit_clock = 0;
     }
 
     /// Every resident translation as `(page base VA, size)`, deduplicated
@@ -692,6 +826,147 @@ mod tests {
         t.flush();
         t.probe_block(&vas, &mut hits);
         assert!(hits.iter().all(|&h| !h), "flush cleared everything");
+    }
+
+    #[test]
+    fn unit_fill_hits_across_the_whole_reach() {
+        let mut t = Tlb::new(TlbConfig::tiny());
+        let u = TransUnit {
+            base: VirtAddr(0x40_0000),
+            len: 0x9000, // 9 pages — not a page-size-enumerable reach
+        };
+        assert!(t.lookup_any(VirtAddr(0x40_0000)).is_none());
+        t.fill_unit(u);
+        let (hit, _) = t.lookup_any(VirtAddr(0x40_0000)).unwrap();
+        assert_eq!(hit, TlbHit::L1);
+        assert!(t.probe_any(VirtAddr(0x40_8fff)), "last byte of the reach");
+        assert!(!t.probe_any(VirtAddr(0x40_9000)), "one past the reach");
+        assert!(!t.probe_any(VirtAddr(0x3f_f000)), "one page before");
+        // Unit hits count as L1 hits.
+        assert_eq!(t.stats().l1_hits, 1);
+    }
+
+    #[test]
+    fn unit_entries_are_asid_tagged() {
+        let mut t = Tlb::new(TlbConfig::tiny());
+        let u = TransUnit {
+            base: VirtAddr(0x10_0000),
+            len: 0x4000,
+        };
+        t.fill_unit(u);
+        t.set_asid(7);
+        assert!(!t.probe_any(VirtAddr(0x10_0000)), "other address space");
+        t.fill_unit(TransUnit {
+            base: VirtAddr(0x10_0000),
+            len: 0x2000,
+        });
+        assert_eq!(t.unit_entries_tagged().len(), 2, "tags do not collide");
+        // flush_asid retires exactly the tagged unit and counts it.
+        t.set_asid(0);
+        assert_eq!(t.flush_asid(7), 1);
+        assert!(t.probe_any(VirtAddr(0x10_0000)), "asid 0 entry survives");
+        assert_eq!(t.flush_asid(0), 1);
+        assert!(!t.probe_any(VirtAddr(0x10_0000)));
+    }
+
+    #[test]
+    fn newer_mappings_evict_overlapping_unit_reaches() {
+        let mut t = Tlb::new(TlbConfig::tiny());
+        let wide = TransUnit {
+            base: VirtAddr(0x20_0000),
+            len: 0x10000,
+        };
+        t.fill_unit(wide);
+        // A newer, shorter unit over part of the reach wins outright:
+        // the wide entry may not shadow it.
+        let narrow = TransUnit {
+            base: VirtAddr(0x20_4000),
+            len: 0x1000,
+        };
+        t.fill_unit(narrow);
+        assert_eq!(t.unit_entries_tagged(), vec![(0, narrow)]);
+        assert!(!t.probe_any(VirtAddr(0x20_0000)), "wide reach is gone");
+        // A newer page-granular fill inside a unit reach also evicts it.
+        t.fill_unit(wide);
+        t.fill(VirtAddr(0x20_8000), PageSize::Size4K);
+        assert!(t.unit_entries_tagged().is_empty());
+        assert!(t.probe_any(VirtAddr(0x20_8000)), "page entry remains");
+        assert!(!t.probe_any(VirtAddr(0x20_0000)));
+        // And an invalidation shoots down the covering unit.
+        t.fill_unit(wide);
+        t.invalidate(VirtAddr(0x20_2000), PageSize::Size4K);
+        assert!(t.unit_entries_tagged().is_empty());
+    }
+
+    #[test]
+    fn unit_array_replaces_lru_when_full() {
+        let mut t = Tlb::new(TlbConfig::tiny());
+        for i in 0..UNIT_ENTRIES as u64 {
+            t.fill_unit(TransUnit {
+                base: VirtAddr((i + 1) << 30),
+                len: 0x1000,
+            });
+        }
+        // Touch entry 0 so entry 1 becomes the LRU victim.
+        assert!(t.lookup_any(VirtAddr(1 << 30)).is_some());
+        t.fill_unit(TransUnit {
+            base: VirtAddr(0x123_0000),
+            len: 0x1000,
+        });
+        assert_eq!(t.unit_entries_tagged().len(), UNIT_ENTRIES);
+        assert!(t.probe_any(VirtAddr(1 << 30)), "recently used survives");
+        assert!(!t.probe_any(VirtAddr(2 << 30)), "LRU entry replaced");
+        assert!(t.probe_any(VirtAddr(0x123_0000)));
+    }
+
+    #[test]
+    fn probe_block_matches_probe_any_over_mixed_reaches() {
+        let mut t = Tlb::new(TlbConfig::tiny());
+        t.fill(VirtAddr(0x1000), PageSize::Size4K);
+        t.fill(VirtAddr(0x20_0000), PageSize::Size2M);
+        t.fill_unit(TransUnit {
+            base: VirtAddr(0x50_0000),
+            len: 0x7000,
+        });
+        t.set_asid(5);
+        t.fill_unit(TransUnit {
+            base: VirtAddr(0x50_0000),
+            len: 0x2000,
+        });
+        t.set_asid(0);
+        let vas: Vec<VirtAddr> = (0..8u64)
+            .map(|i| VirtAddr(0x50_0000 + i * 4096 - 4096))
+            .chain([VirtAddr(0x1000), VirtAddr(0x2000), VirtAddr(0x20_1000)])
+            .collect();
+        let mut hits = vec![false; vas.len()];
+        let stats_before = t.stats();
+        t.probe_block(&vas, &mut hits);
+        assert_eq!(t.stats(), stats_before, "probe_block must not count");
+        for (i, &va) in vas.iter().enumerate() {
+            assert_eq!(hits[i], t.probe_any(va), "element {i}");
+        }
+        assert!(hits.iter().any(|&h| h) && hits.iter().any(|&h| !h));
+    }
+
+    #[test]
+    fn unit_misses_keep_record_miss_equivalence() {
+        // The record_miss/lookup_any equivalence contract must hold
+        // with unit entries resident: a failed unit scan is stateless.
+        let mut a = Tlb::new(TlbConfig::tiny());
+        let mut b = Tlb::new(TlbConfig::tiny());
+        for t in [&mut a, &mut b] {
+            t.fill_unit(TransUnit {
+                base: VirtAddr(0x90_0000),
+                len: 0x3000,
+            });
+            t.fill(VirtAddr(0x1000), PageSize::Size4K);
+        }
+        let missing = VirtAddr(0x70_0000);
+        assert!(a.lookup_any(missing).is_none());
+        assert!(!b.probe_any(missing));
+        b.record_miss(missing);
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.unit_entries_tagged(), b.unit_entries_tagged());
     }
 
     #[test]

@@ -276,6 +276,62 @@ impl PhysAddr {
     }
 }
 
+/// A variable-size translation unit: a contiguous virtual range mapped
+/// as one entity by a translation design.
+///
+/// The paper's eight designs map fixed 4 KiB / 2 MiB / 1 GiB pages; a
+/// [`PageSize`] fully describes such a unit. Beyond-the-paper designs
+/// (VBI-style variable-size blocks, per-VMA segmentation) map reaches
+/// that are neither power-of-two nor page-size-enumerable, so the cache
+/// layer and outcome buffers carry an explicit `{ base, len }` instead.
+/// `base` is 4 KiB-aligned and `len` is a positive multiple of 4 KiB by
+/// contract (the constructors of the backends that emit units uphold
+/// it); PA-contiguity over the reach is the emitting design's promise —
+/// `pa(unit_base_pa, va) = unit_base_pa + (va - base)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TransUnit {
+    /// First virtual address covered (4 KiB aligned).
+    pub base: VirtAddr,
+    /// Length of the reach in bytes (positive multiple of 4 KiB).
+    pub len: u64,
+}
+
+impl TransUnit {
+    /// A unit covering exactly one page of the given size at `va`'s
+    /// page boundary.
+    #[inline]
+    pub const fn of_page(va: VirtAddr, size: PageSize) -> TransUnit {
+        TransUnit {
+            base: va.align_down(size),
+            len: size.bytes(),
+        }
+    }
+
+    /// One-past-the-end virtual address of the reach.
+    #[inline]
+    pub const fn end(self) -> VirtAddr {
+        VirtAddr(self.base.0 + self.len)
+    }
+
+    /// Whether `va` falls inside the reach.
+    #[inline]
+    pub const fn contains(self, va: VirtAddr) -> bool {
+        va.0 >= self.base.0 && va.0 < self.base.0 + self.len
+    }
+
+    /// Whether this reach intersects `[base, base + len)`.
+    #[inline]
+    pub const fn overlaps_range(self, base: VirtAddr, len: u64) -> bool {
+        self.base.0 < base.0 + len && base.0 < self.base.0 + self.len
+    }
+
+    /// Whether two reaches intersect.
+    #[inline]
+    pub const fn overlaps(self, other: TransUnit) -> bool {
+        self.overlaps_range(other.base, other.len)
+    }
+}
+
 addr_newtype!(
     /// A virtual page number (4 KiB granularity).
     Vpn
@@ -378,6 +434,29 @@ mod tests {
         let va = VirtAddr(6 * (2 << 20) + 12345);
         assert_eq!(va.vpn_for(PageSize::Size2M), 6);
         assert_eq!(va.offset_in(PageSize::Size2M), 12345);
+    }
+
+    #[test]
+    fn trans_unit_geometry() {
+        let u = TransUnit {
+            base: VirtAddr(0x10_0000),
+            len: 0x5000,
+        };
+        assert_eq!(u.end(), VirtAddr(0x10_5000));
+        assert!(u.contains(VirtAddr(0x10_0000)));
+        assert!(u.contains(VirtAddr(0x10_4fff)));
+        assert!(!u.contains(VirtAddr(0x10_5000)));
+        assert!(u.overlaps_range(VirtAddr(0x10_4000), 0x1000));
+        assert!(!u.overlaps_range(VirtAddr(0x10_5000), 0x1000));
+        assert!(!u.overlaps_range(VirtAddr(0x0f_f000), 0x1000));
+        let v = TransUnit {
+            base: VirtAddr(0x10_4000),
+            len: 0x2000,
+        };
+        assert!(u.overlaps(v) && v.overlaps(u));
+        let p = TransUnit::of_page(VirtAddr(0x2001234), PageSize::Size2M);
+        assert_eq!(p.base, VirtAddr(0x2000000));
+        assert_eq!(p.len, 2 << 20);
     }
 
     #[test]

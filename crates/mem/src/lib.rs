@@ -28,7 +28,7 @@ pub mod frag;
 pub mod hash;
 pub mod phys;
 
-pub use addr::{PageSize, Pfn, PhysAddr, VirtAddr, Vpn};
+pub use addr::{PageSize, Pfn, PhysAddr, TransUnit, VirtAddr, Vpn};
 pub use buddy::{BuddyAllocator, FrameKind, FrameState};
 pub use hash::{FastMap, FastSet};
 pub use phys::{MemoryOps, PhysMemory};

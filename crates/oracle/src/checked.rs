@@ -207,6 +207,10 @@ impl<R: Rig> Rig for Checked<R> {
         self.inner.thp()
     }
 
+    fn fill_shift(&self) -> u32 {
+        self.inner.fill_shift()
+    }
+
     fn translate(&mut self, va: VirtAddr, hier: &mut MemoryHierarchy) -> Translation {
         let idx = self.index;
         self.index += 1;
@@ -310,6 +314,10 @@ impl<R: Rig> Rig for BitFlip<R> {
         self.inner.thp()
     }
 
+    fn fill_shift(&self) -> u32 {
+        self.inner.fill_shift()
+    }
+
     fn translate(&mut self, va: VirtAddr, hier: &mut MemoryHierarchy) -> Translation {
         let mut tr = self.inner.translate(va, hier);
         if self.seen == self.at {
@@ -391,13 +399,15 @@ mod tests {
         (Setup::new(vec![region], &trace), vas)
     }
 
-    const NATIVE_DESIGNS: [Design; 6] = [
+    const NATIVE_DESIGNS: [Design; 8] = [
         Design::Vanilla,
         Design::Fpt,
         Design::Ecpt,
         Design::Asap,
         Design::Dmt,
         Design::PvDmt,
+        Design::Vbi,
+        Design::Seg,
     ];
 
     #[test]

@@ -23,6 +23,7 @@ pub(crate) const REGISTRATION: Registration = Registration {
         build: build_virt,
     }),
     nested: None,
+    tiers: None,
 };
 
 fn build_virt(
@@ -64,6 +65,7 @@ impl VirtTranslator for VirtAgile {
             cycles: out.cycles,
             refs: out.refs(),
             fallback: false,
+            unit: None,
         }
     }
 

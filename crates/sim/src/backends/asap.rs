@@ -27,6 +27,7 @@ pub(crate) const REGISTRATION: Registration = Registration {
         build: build_virt,
     }),
     nested: None,
+    tiers: None,
 };
 
 fn build_native(
@@ -124,6 +125,7 @@ impl NativeTranslator for NativeAsap {
             cycles,
             refs: out.refs(),
             fallback: false,
+            unit: None,
         }
     }
 }
@@ -176,6 +178,7 @@ impl VirtTranslator for VirtAsap {
             cycles,
             refs: out.refs(),
             fallback: false,
+            unit: None,
         }
     }
 }

@@ -14,7 +14,7 @@
 
 use super::{NativeBackend, NativeMachine, NativeTranslator, VirtBackend, VirtTranslator};
 use crate::error::SimError;
-use crate::registry::{Arena, NativeSpec, Registration, VirtSpec};
+use crate::registry::{Arena, NativeSpec, Registration, TierSpec, VirtSpec};
 use crate::rig::{pte_delta, Design, OutcomeRows, Setup, Translation};
 use dmt_cache::hierarchy::MemoryHierarchy;
 use dmt_core::{fetcher, DmtError};
@@ -36,6 +36,10 @@ pub(crate) const REGISTRATION: Registration = Registration {
         build: build_virt,
     }),
     nested: None,
+    tiers: Some(TierSpec {
+        fast_bytes: 32 << 20,
+        slow_latency: 350,
+    }),
 };
 
 /// The stock native DMT backend (PWC-assisted fallback walks).
@@ -121,6 +125,7 @@ impl NativeDmt {
             cycles: out.cycles,
             refs: out.refs(),
             fallback: true,
+            unit: None,
         }
     }
 }
@@ -141,6 +146,7 @@ impl NativeTranslator for NativeDmt {
                     cycles: out.cycles,
                     refs: out.refs(),
                     fallback: false,
+                    unit: None,
                 }
             }
             Err(DmtError::NotCovered { .. }) => self.fallback_walk(m, va, hier),
@@ -203,6 +209,7 @@ impl NativeTranslator for NativeDmt {
                             cycles,
                             refs: 1,
                             fallback: false,
+                            unit: None,
                         }
                     }
                     fetcher::Resolve::NotCovered => {
@@ -256,6 +263,7 @@ impl VirtDmt {
                     cycles: out.cycles,
                     refs: out.refs(),
                     fallback: false,
+                    unit: None,
                 }
             }
             Err(DmtError::NotCovered { .. }) => {
@@ -267,6 +275,7 @@ impl VirtDmt {
                     cycles: out.cycles,
                     refs: out.refs(),
                     fallback: true,
+                    unit: None,
                 }
             }
             Err(e) => panic!("DMT fetch failed: {e}"),

@@ -28,6 +28,7 @@ pub(crate) const REGISTRATION: Registration = Registration {
         build: build_virt,
     }),
     nested: None,
+    tiers: None,
 };
 
 /// Sized from the touched pages: 3 ways × 16-byte entries × 3× slack,
@@ -135,6 +136,7 @@ impl NativeTranslator for NativeEcpt {
             cycles: out.cycles,
             refs: out.seq_refs(),
             fallback: false,
+            unit: None,
         }
     }
 
@@ -167,6 +169,7 @@ impl VirtTranslator for VirtEcpt {
             cycles: out.cycles,
             refs: out.seq_refs(),
             fallback: false,
+            unit: None,
         }
     }
 

@@ -29,6 +29,7 @@ pub(crate) const REGISTRATION: Registration = Registration {
         build: build_virt,
     }),
     nested: None,
+    tiers: None,
 };
 
 /// 25 flattened tables' worth of contiguous guest frames.
@@ -116,6 +117,7 @@ impl NativeTranslator for NativeFpt {
             cycles: out.cycles,
             refs: out.refs(),
             fallback: false,
+            unit: None,
         }
     }
 
@@ -149,6 +151,7 @@ impl VirtTranslator for VirtFpt {
             cycles: out.cycles,
             refs: out.refs(),
             fallback: false,
+            unit: None,
         }
     }
 

@@ -7,7 +7,7 @@
 
 use super::{NativeBackend, NativeMachine, NestedBackend, NestedTranslator, VirtBackend, VirtTranslator};
 use crate::error::SimError;
-use crate::registry::{Arena, NativeSpec, NestedSpec, Registration, VirtSpec};
+use crate::registry::{Arena, NativeSpec, NestedSpec, Registration, TierSpec, VirtSpec};
 use crate::rig::{Design, Setup, Translation};
 use dmt_cache::hierarchy::MemoryHierarchy;
 use dmt_core::DmtError;
@@ -32,6 +32,10 @@ pub(crate) const REGISTRATION: Registration = Registration {
         pv_mmap: true,
         pinned_exit_ratio: None,
         build: build_nested,
+    }),
+    tiers: Some(TierSpec {
+        fast_bytes: 32 << 20,
+        slow_latency: 350,
     }),
 };
 
@@ -95,6 +99,7 @@ impl VirtTranslator for VirtPvDmt {
                     cycles: out.cycles,
                     refs: out.refs(),
                     fallback: false,
+                    unit: None,
                 }
             }
             Err(DmtError::NotCovered { .. }) => {
@@ -106,6 +111,7 @@ impl VirtTranslator for VirtPvDmt {
                     cycles: out.cycles,
                     refs: out.refs(),
                     fallback: true,
+                    unit: None,
                 }
             }
             Err(e) => panic!("pvDMT fetch failed: {e}"),
@@ -143,6 +149,7 @@ impl NestedTranslator for NestedPvDmt {
                     cycles: out.cycles,
                     refs: out.refs(),
                     fallback: false,
+                    unit: None,
                 }
             }
             Err(DmtError::NotCovered { .. }) => {
@@ -154,6 +161,7 @@ impl NestedTranslator for NestedPvDmt {
                     cycles: out.cycles,
                     refs: out.refs(),
                     fallback: true,
+                    unit: None,
                 }
             }
             Err(e) => panic!("nested pvDMT fetch failed: {e}"),

@@ -19,6 +19,7 @@ pub(crate) const REGISTRATION: Registration = Registration {
         build: build_virt,
     }),
     nested: None,
+    tiers: None,
 };
 
 fn build_virt(
@@ -46,6 +47,7 @@ impl VirtTranslator for VirtShadow {
             cycles: out.cycles,
             refs: out.refs(),
             fallback: false,
+            unit: None,
         }
     }
 

@@ -40,6 +40,7 @@ pub(crate) const REGISTRATION: Registration = Registration {
         pinned_exit_ratio: Some(1.0),
         build: build_nested,
     }),
+    tiers: None,
 };
 
 fn build_native(
@@ -92,6 +93,7 @@ impl NativeTranslator for NativeVanilla {
             cycles: out.cycles,
             refs: out.refs(),
             fallback: false,
+            unit: None,
         }
     }
 
@@ -125,6 +127,7 @@ impl NativeTranslator for NativeVanilla {
                     cycles: w.cycles,
                     refs: w.refs,
                     fallback: false,
+                    unit: None,
                 },
             );
             out.set_data(i, level, cycles);
@@ -150,6 +153,7 @@ impl VirtTranslator for VirtVanilla {
             cycles: out.cycles,
             refs: out.refs(),
             fallback: false,
+            unit: None,
         }
     }
 
@@ -192,6 +196,7 @@ impl NestedTranslator for NestedVanilla {
             cycles: out.cycles,
             refs: out.refs(),
             fallback: false,
+            unit: None,
         }
     }
 

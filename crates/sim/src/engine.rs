@@ -22,7 +22,7 @@
 use crate::rig::{OutcomeBlock, Rig};
 use dmt_cache::hierarchy::{HitLevel, MemoryHierarchy};
 use dmt_cache::tlb::{Tlb, TlbHit};
-use dmt_mem::{FastSet, VirtAddr};
+use dmt_mem::{FastSet, TransUnit, VirtAddr};
 use dmt_telemetry::{MemLevel, Probe, TlbPath};
 use dmt_workloads::gen::Access;
 use std::borrow::Borrow;
@@ -164,16 +164,31 @@ fn flush_run(
     rig.translate_batch(&block[s..e], hier, &mut outcomes.rows(s..e));
     for (j, a) in block.iter().enumerate().take(e).skip(s) {
         let size = outcomes.size[j];
+        let unit_len = outcomes.unit_len[j];
+        // Whatever gets filled — a fixed page or a variable reach —
+        // must stay inside one pending region, or the fill could
+        // create a hit for a VA already scanned as a miss.
         debug_assert!(
-            size.shift() <= region_shift,
-            "a {}-bit fill exceeds the {}-bit pending-region granularity",
-            size.shift(),
-            region_shift
+            if unit_len == 0 {
+                size.shift() <= region_shift
+            } else {
+                region_shift >= 63
+                    || outcomes.unit_base[j] >> region_shift
+                        == (outcomes.unit_base[j] + unit_len - 1) >> region_shift
+            },
+            "a fill exceeds the {region_shift}-bit pending-region granularity"
         );
         if !(first_pre_counted && j == s) {
             tlb.record_miss(a.va);
         }
-        tlb.fill(a.va, size);
+        if unit_len != 0 {
+            tlb.fill_unit(TransUnit {
+                base: VirtAddr(outcomes.unit_base[j]),
+                len: unit_len,
+            });
+        } else {
+            tlb.fill(a.va, size);
+        }
         filled_regions.insert(a.va.raw() >> region_shift);
     }
 }
@@ -227,8 +242,10 @@ pub(crate) fn run_block<P: Probe>(
 ) {
     // Pending-region granularity must be at least the largest possible
     // TLB fill, or a fill could create a hit for a VA already scanned as
-    // a miss. 2 MiB mappings only exist under THP; the flush asserts.
-    let region_shift: u32 = if rig.thp() { 21 } else { 12 };
+    // a miss. The rig knows its own reach (fixed-page designs: the page
+    // shift, 21 under THP; variable-reach designs: 63, collapsing every
+    // miss run to a single element); the flush asserts.
+    let region_shift: u32 = rig.fill_shift();
     st.outcomes.reset(block.len());
     st.recs.clear();
     st.pending_regions.clear();
@@ -411,13 +428,18 @@ pub(crate) fn run_block<P: Probe>(
 /// Accesses are fed to [`run_block`] in [`BLOCK_SIZE`] chunks, which
 /// hands miss runs to [`Rig::translate_batch`] and defers accounting to
 /// one reconciliation pass per block. It is bit-identical to
-/// [`run_probed_scalar`] — the contract `tests/batch_equivalence.rs`
+/// [`run_probed_scalar_in`] — the contract `tests/batch_equivalence.rs`
 /// and the backend goldens pin.
-pub(crate) fn run_probed<I, P>(
+///
+/// The caller builds the hierarchy — how the runner's tiered-DRAM mode
+/// injects a fast/slow split without disturbing the default (flat,
+/// bit-identical) path.
+pub(crate) fn run_probed_in<I, P>(
     rig: &mut dyn Rig,
     trace: I,
     warmup: usize,
     probe: &mut P,
+    mut hier: MemoryHierarchy,
 ) -> RunStats
 where
     I: IntoIterator,
@@ -425,7 +447,6 @@ where
     P: Probe,
 {
     let mut tlb = Tlb::default();
-    let mut hier = MemoryHierarchy::default();
     let mut stats = RunStats::default();
     let sample_every = if P::ACTIVE {
         probe.sample_interval().unwrap_or(0)
@@ -491,17 +512,20 @@ where
     stats
 }
 
-/// The pre-batching engine: one [`step_access`] per trace element.
+/// The pre-batching engine: one [`step_access`] per trace element, over
+/// a caller-built hierarchy (the tiered-DRAM injection point, mirroring
+/// [`run_probed_in`]).
 ///
 /// Kept as the reference implementation the batched path is measured
 /// and equivalence-tested against; select it with
 /// [`RunnerBuilder::engine`](crate::runner::RunnerBuilder::engine)
 /// (`Engine::Scalar`).
-pub(crate) fn run_probed_scalar<I, P>(
+pub(crate) fn run_probed_scalar_in<I, P>(
     rig: &mut dyn Rig,
     trace: I,
     warmup: usize,
     probe: &mut P,
+    mut hier: MemoryHierarchy,
 ) -> RunStats
 where
     I: IntoIterator,
@@ -509,7 +533,6 @@ where
     P: Probe,
 {
     let mut tlb = Tlb::default();
-    let mut hier = MemoryHierarchy::default();
     let mut stats = RunStats::default();
     let sample_every = if P::ACTIVE {
         probe.sample_interval().unwrap_or(0)
@@ -535,7 +558,7 @@ where
 }
 
 /// One access through the TLB → translate → data-access pipeline: the
-/// loop body both [`run_probed`] and the cloud-node scheduler
+/// loop body both [`run_probed_in`] and the cloud-node scheduler
 /// ([`crate::cloudnode`]) execute, factored out so a one-tenant node is
 /// bit-identical to the single-rig engine *by construction*.
 ///
@@ -567,7 +590,10 @@ pub(crate) fn step_access<P: Probe>(
                 Default::default()
             };
             let tr = rig.translate(a.va, hier);
-            tlb.fill(a.va, tr.size);
+            match tr.unit {
+                Some(u) => tlb.fill_unit(u),
+                None => tlb.fill(a.va, tr.size),
+            }
             if measured {
                 stats.walks += 1;
                 stats.walk_cycles += tr.cycles;
@@ -693,7 +719,13 @@ mod tests {
         let trace = w.trace(3_000, 5);
         let mut rig = NativeRig::new(Design::Vanilla, false, &w, &trace).unwrap();
         let mut t = Telemetry::with_interval(500);
-        let s = super::run_probed(&mut rig, &trace, 500, &mut t);
+        let s = super::run_probed_in(
+            &mut rig,
+            &trace,
+            500,
+            &mut t,
+            dmt_cache::hierarchy::MemoryHierarchy::default(),
+        );
         // Telemetry sees exactly the measured events RunStats aggregates.
         assert_eq!(t.counters.get(Counter::Walks), s.walks);
         assert_eq!(t.walk_latency.count(), s.walks);

@@ -503,19 +503,29 @@ pub type Table6Row = (Design, Option<u64>, Option<u64>, Option<u64>);
 /// registering a new environment for a design surfaces its column here
 /// with no table edit.
 pub fn table6() -> Vec<Table6Row> {
-    // Analytic worst-case counts; cells the registry has no backend for
-    // (e.g. Agile's native column) carry the count the design *would*
-    // have, and stay hidden until someone registers one.
-    let rows = [
-        (Design::PvDmt, 1, 2, 3),
-        (Design::Ecpt, 1, 3, 9),
-        (Design::Fpt, 2, 8, 26),
-        (Design::Agile, 4, 24, 24), // virt is 4–24; worst case listed
-        (Design::Asap, 4, 24, 24),
-        (Design::Vanilla, 4, 24, 24),
-    ];
-    rows.into_iter()
-        .map(|(d, native, virt, nested)| {
+    // Analytic worst-case counts per design; cells the registry has no
+    // backend for (e.g. Agile's native column) carry the count the
+    // design *would* have, and stay hidden until someone registers one.
+    // Row order is the registry's presentation order — a new design
+    // lands here by adding its registry row plus one match arm.
+    let counts = |d: Design| match d {
+        Design::Vanilla => (4, 24, 24),
+        Design::Shadow => (4, 4, 24),
+        Design::Fpt => (2, 8, 26),
+        Design::Ecpt => (1, 3, 9),
+        Design::Agile => (4, 24, 24), // virt is 4–24; worst case listed
+        Design::Asap => (4, 24, 24),
+        Design::Dmt => (1, 3, 9),
+        Design::PvDmt => (1, 2, 3),
+        // Beyond-the-paper block designs: one descriptor fetch per
+        // dimension in steady state (Seg's cold search is log-depth,
+        // amortized away by its segment cache).
+        Design::Vbi => (1, 2, 3),
+        Design::Seg => (1, 2, 3),
+    };
+    crate::registry::designs()
+        .map(|d| {
+            let (native, virt, nested) = counts(d);
             (
                 d,
                 d.available_in(Env::Native).then_some(native),
@@ -566,9 +576,9 @@ pub struct Table7Row {
 /// against the same environment's vanilla node.
 ///
 /// Row order: environments in `Native, Virt, Nested` order, designs in
-/// [`Design::ALL`] order with unavailable cells skipped — vanilla
-/// first in each environment, so the baseline row precedes the rows it
-/// normalizes.
+/// registry presentation order ([`crate::registry::designs`]) with
+/// unavailable cells skipped — vanilla first in each environment, so
+/// the baseline row precedes the rows it normalizes.
 ///
 /// # Errors
 ///
@@ -616,7 +626,7 @@ pub fn table7_with(runner: &Runner, scale: Scale, n: usize) -> Result<Vec<Table7
             }
         };
         rows.push(row(base, base_t));
-        for design in Design::ALL {
+        for design in crate::registry::designs() {
             if design == Design::Vanilla || !design.available_in(env) {
                 continue;
             }

@@ -151,6 +151,10 @@ impl Rig for NativeRig {
         self.thp
     }
 
+    fn fill_shift(&self) -> u32 {
+        self.backend.fill_shift(self.thp)
+    }
+
     fn translate(&mut self, va: VirtAddr, hier: &mut MemoryHierarchy) -> Translation {
         self.backend.translate(&mut self.m, va, hier)
     }

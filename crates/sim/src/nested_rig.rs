@@ -122,6 +122,10 @@ impl Rig for NestedRig {
         self.thp
     }
 
+    fn fill_shift(&self) -> u32 {
+        self.backend.fill_shift(self.thp)
+    }
+
     fn translate(&mut self, va: VirtAddr, hier: &mut MemoryHierarchy) -> Translation {
         self.backend.translate(&mut self.m, va, hier)
     }

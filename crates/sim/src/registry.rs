@@ -87,6 +87,19 @@ pub struct NestedSpec {
     pub build: NestedFactory,
 }
 
+/// A two-tier DRAM split for a design that manages physical placement
+/// (DMT's TEA migrations): PAs below `fast_bytes` are near-tier DRAM at
+/// the hierarchy's configured latency, PAs at or above it pay
+/// `slow_latency`. Opt-in via `RunnerBuilder::tiered`; a row without a
+/// spec always runs flat.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierSpec {
+    /// Bytes of fast-tier DRAM, from PA 0.
+    pub fast_bytes: u64,
+    /// Cycles charged per access landing in the slow tier.
+    pub slow_latency: u64,
+}
+
 /// One design's row: a spec per environment it exists in, `None` for
 /// each of its Table 6 N/A cells.
 pub struct Registration {
@@ -98,11 +111,16 @@ pub struct Registration {
     pub virt: Option<VirtSpec>,
     /// Nested-virtualization spec.
     pub nested: Option<NestedSpec>,
+    /// Tiered-DRAM latency knob, for designs whose placement machinery
+    /// (TEA migration) can steer hot pages into the fast tier.
+    pub tiers: Option<TierSpec>,
 }
 
-/// Every registered design. Order matches the `Design` enum for
-/// readability; lookups go by the `design` field, not position.
-static REGISTRY: [Registration; 8] = [
+/// Every registered design, in presentation order: this sequence — not
+/// `Design::ALL` — decides Table 6/7 row order, so a new design lands
+/// in the tables by adding its row here. Lookups go by the `design`
+/// field, not position.
+static REGISTRY: [Registration; 10] = [
     backends::vanilla::REGISTRATION,
     backends::shadow::REGISTRATION,
     backends::fpt::REGISTRATION,
@@ -111,7 +129,21 @@ static REGISTRY: [Registration; 8] = [
     backends::asap::REGISTRATION,
     backends::dmt::REGISTRATION,
     backends::pvdmt::REGISTRATION,
+    backends::vbi::REGISTRATION,
+    backends::seg::REGISTRATION,
 ];
+
+/// Every registered design in registry (presentation) order — what the
+/// experiment tables iterate, decoupled from the `Design` enum's
+/// declaration order.
+pub fn designs() -> impl Iterator<Item = Design> {
+    REGISTRY.iter().map(|r| r.design)
+}
+
+/// The tiered-DRAM spec for `design`, if its row opts in.
+pub fn tier_spec(design: Design) -> Option<TierSpec> {
+    lookup(design).tiers
+}
 
 /// The registry row for a design. Every `Design` variant has exactly
 /// one row (the conformance suite checks this).
@@ -175,7 +207,7 @@ pub fn nested_spec(design: Design) -> Result<&'static NestedSpec, SimError> {
 mod tests {
     use super::*;
 
-    const ALL: [Design; 8] = [
+    const ALL: [Design; 10] = [
         Design::Vanilla,
         Design::Shadow,
         Design::Fpt,
@@ -184,6 +216,8 @@ mod tests {
         Design::Asap,
         Design::Dmt,
         Design::PvDmt,
+        Design::Vbi,
+        Design::Seg,
     ];
 
     #[test]
@@ -270,6 +304,37 @@ mod tests {
                     NativeMachine::build(spec.dmt_managed, false, &setup).expect("machine");
                 let b = (spec.build)(&mut m, &setup).expect("backend");
                 assert_eq!(b.design(), Some(d), "{d:?} native variant");
+            }
+        }
+    }
+
+    #[test]
+    fn designs_iterates_registry_rows_in_presentation_order() {
+        // Table 6/7 row order comes from here, not from `Design::ALL`:
+        // the iterator must yield exactly the registry rows, in table
+        // position, each design once.
+        let order: Vec<Design> = designs().collect();
+        assert_eq!(order.len(), REGISTRY.len());
+        for (i, d) in order.iter().enumerate() {
+            assert_eq!(REGISTRY[i].design, *d);
+        }
+        for d in Design::ALL {
+            assert_eq!(order.iter().filter(|x| **x == d).count(), 1, "{d:?}");
+        }
+    }
+
+    #[test]
+    fn tier_specs_mark_exactly_the_tea_migrating_designs() {
+        for d in ALL {
+            let spec = tier_spec(d);
+            assert_eq!(
+                spec.is_some(),
+                matches!(d, Design::Dmt | Design::PvDmt),
+                "{d:?}"
+            );
+            if let Some(t) = spec {
+                assert!(t.fast_bytes > 0);
+                assert!(t.slow_latency > 0);
             }
         }
     }

@@ -2,7 +2,7 @@
 //! designs, and the [`Rig`] trait every design-under-test implements.
 
 use dmt_cache::hierarchy::MemoryHierarchy;
-use dmt_mem::{PageSize, PhysAddr, VirtAddr};
+use dmt_mem::{PageSize, PhysAddr, TransUnit, VirtAddr};
 use dmt_telemetry::ComponentCounters;
 use dmt_workloads::gen::{Access, Region};
 
@@ -48,12 +48,19 @@ pub enum Design {
     /// DMT with paravirtualization (pvDMT). In native mode identical to
     /// [`Design::Dmt`].
     PvDmt,
+    /// Virtual Block Interface-style variable-size block table (beyond
+    /// the paper; Hajinazar et al.). New variants append at the end:
+    /// the discriminant feeds per-design trace seeds.
+    Vbi,
+    /// Per-VMA base+bound segmentation with a small segment cache
+    /// (beyond the paper; Teabe et al.).
+    Seg,
 }
 
 impl Design {
     /// Every design, in the paper's comparison order — the canonical
     /// iteration set for whole-matrix sweeps (Tables 6 and 7).
-    pub const ALL: [Design; 8] = [
+    pub const ALL: [Design; 10] = [
         Design::Vanilla,
         Design::Shadow,
         Design::Fpt,
@@ -62,6 +69,8 @@ impl Design {
         Design::Asap,
         Design::Dmt,
         Design::PvDmt,
+        Design::Vbi,
+        Design::Seg,
     ];
 
     /// Display name as used in the paper's figures.
@@ -75,6 +84,8 @@ impl Design {
             Design::Asap => "ASAP",
             Design::Dmt => "DMT",
             Design::PvDmt => "pvDMT",
+            Design::Vbi => "VBI",
+            Design::Seg => "Seg",
         }
     }
 
@@ -100,6 +111,12 @@ pub struct Translation {
     pub refs: u64,
     /// Whether a DMT design fell back to the hardware walker.
     pub fallback: bool,
+    /// Variable-size reach this translation covers (VBI blocks,
+    /// segmentation VMAs). `None` for page-granular designs — the
+    /// engine then fills the TLB at `size` granularity as before;
+    /// `Some` routes the fill to [`dmt_cache::tlb::Tlb::fill_unit`].
+    /// PA-contiguity over the reach is the emitting design's contract.
+    pub unit: Option<TransUnit>,
 }
 
 /// Everything the block engine needs back from one batched element:
@@ -131,6 +148,7 @@ impl Default for Outcome {
                 cycles: 0,
                 refs: 0,
                 fallback: false,
+                unit: None,
             },
             data_level: dmt_cache::hierarchy::HitLevel::L1,
             data_cycles: 0,
@@ -172,6 +190,12 @@ pub struct OutcomeBlock {
     /// PTE-fetch charge matrix, `pte[mem_level][element]` in
     /// `[L1, L2, LLC, DRAM]` order ([`Outcome::pte`] transposed).
     pub pte: [Vec<u64>; 4],
+    /// Variable-reach base VA per element ([`Translation::unit`]);
+    /// meaningful only where `unit_len` is non-zero.
+    pub unit_base: Vec<u64>,
+    /// Variable-reach length per element; `0` encodes `None` (a length
+    /// of zero is not a valid [`TransUnit`]).
+    pub unit_len: Vec<u64>,
 }
 
 impl OutcomeBlock {
@@ -196,6 +220,10 @@ impl OutcomeBlock {
             col.clear();
             col.resize(n, 0);
         }
+        self.unit_base.clear();
+        self.unit_base.resize(n, 0);
+        self.unit_len.clear();
+        self.unit_len.resize(n, 0);
     }
 
     /// Number of rows.
@@ -220,6 +248,12 @@ impl OutcomeBlock {
         for (level, col) in self.pte.iter_mut().enumerate() {
             col[i] = o.pte[level];
         }
+        let (ub, ul) = match o.tr.unit {
+            Some(u) => (u.base.raw(), u.len),
+            None => (0, 0),
+        };
+        self.unit_base[i] = ub;
+        self.unit_len[i] = ul;
     }
 
     /// Reassemble row `i` as an [`Outcome`].
@@ -231,6 +265,10 @@ impl OutcomeBlock {
                 cycles: self.cycles[i],
                 refs: self.refs[i],
                 fallback: self.fault[i],
+                unit: (self.unit_len[i] != 0).then(|| TransUnit {
+                    base: VirtAddr(self.unit_base[i]),
+                    len: self.unit_len[i],
+                }),
             },
             data_level: self.data_level[i],
             data_cycles: self.data_cycles[i],
@@ -300,6 +338,12 @@ impl OutcomeRows<'_> {
         self.block.cycles[j] = tr.cycles;
         self.block.refs[j] = tr.refs;
         self.block.fault[j] = tr.fallback;
+        let (ub, ul) = match tr.unit {
+            Some(u) => (u.base.raw(), u.len),
+            None => (0, 0),
+        };
+        self.block.unit_base[j] = ub;
+        self.block.unit_len[j] = ul;
     }
 
     /// Write the data-access columns of row `i`.
@@ -372,6 +416,22 @@ pub trait Rig {
 
     /// Whether THP is active.
     fn thp(&self) -> bool;
+
+    /// Log2 of the largest reach one TLB fill from this rig can cover
+    /// — what the batched engine keys its region-disjointness on: two
+    /// pending misses whose VAs share `va >> fill_shift()` may resolve
+    /// to one fill, so they must flush in separate runs. Fixed-page
+    /// designs return the page shift of their largest fill (21 under
+    /// THP, 12 otherwise); variable-reach designs (VBI, segmentation)
+    /// return 63 — any two VAs may share a unit, so every miss run is a
+    /// single element and batching degenerates to scalar order exactly.
+    fn fill_shift(&self) -> u32 {
+        if self.thp() {
+            21
+        } else {
+            12
+        }
+    }
 
     /// Serve a translation for `va`, charging `hier`.
     ///
@@ -512,6 +572,10 @@ impl Rig for Box<dyn Rig> {
 
     fn thp(&self) -> bool {
         (**self).thp()
+    }
+
+    fn fill_shift(&self) -> u32 {
+        (**self).fill_shift()
     }
 
     fn translate(&mut self, va: VirtAddr, hier: &mut MemoryHierarchy) -> Translation {

@@ -28,13 +28,14 @@
 //! need a trace generates it while other workers replay already-ready
 //! keys; a materialization counter proves each key was generated once.
 
-use crate::engine::{run_probed, run_probed_scalar, RunStats};
+use crate::engine::{run_probed_in, run_probed_scalar_in, RunStats};
 use crate::error::SimError;
 use crate::experiments::{scaled_benchmark, Measurement, RigWrapper, Scale};
 use crate::native_rig::NativeRig;
 use crate::nested_rig::NestedRig;
 use crate::rig::{Design, Env, Rig, Setup};
 use crate::virt_rig::VirtRig;
+use dmt_cache::hierarchy::{DramTiers, HierarchyConfig, MemoryHierarchy};
 use dmt_telemetry::{NoopProbe, Telemetry};
 use dmt_trace::{TraceMeta, TraceWriter};
 use dmt_workloads::gen::{Access, Workload};
@@ -104,6 +105,7 @@ pub struct Runner {
     pub(crate) results_dir: PathBuf,
     pub(crate) spill_dir: Option<PathBuf>,
     pub(crate) scalar: bool,
+    pub(crate) tiered: bool,
     pub(crate) shards: usize,
     pub(crate) epoch_len: usize,
 }
@@ -150,6 +152,7 @@ impl Default for RunnerBuilder {
                 results_dir: PathBuf::from("results"),
                 spill_dir: None,
                 scalar: false,
+                tiered: false,
                 shards: 1,
                 epoch_len: DEFAULT_EPOCH_LEN,
             },
@@ -192,11 +195,15 @@ impl RunnerBuilder {
         self
     }
 
-    /// Use the scalar reference engine instead of the batched fast
-    /// path.
-    #[deprecated(since = "0.9.0", note = "use `engine(Engine::Scalar)`")]
-    pub fn scalar_engine(self, on: bool) -> Self {
-        self.engine(if on { Engine::Scalar } else { Engine::Batched })
+    /// Run replays over tiered DRAM: designs whose registry row carries
+    /// a [`TierSpec`](crate::registry::TierSpec) get a two-tier memory
+    /// hierarchy (fast tier below `fast_bytes`, `slow_latency` above —
+    /// where DMT's TEA migrations physically steer pages); rows without
+    /// one, and the default `false`, run the flat hierarchy,
+    /// bit-identically to a runner without this knob.
+    pub fn tiered(mut self, on: bool) -> Self {
+        self.runner.tiered = on;
+        self
     }
 
     /// Replay traces across `k` shard workers
@@ -245,6 +252,7 @@ impl Runner {
             results_dir: cfg.results_dir.clone(),
             spill_dir: None,
             scalar: false,
+            tiered: false,
             shards: 1,
             epoch_len: DEFAULT_EPOCH_LEN,
         }
@@ -273,6 +281,26 @@ impl Runner {
     /// of the batched fast path.
     pub fn scalar_engine_enabled(&self) -> bool {
         self.scalar
+    }
+
+    /// Whether replays run over tiered DRAM for tier-registered
+    /// designs.
+    pub fn tiered_enabled(&self) -> bool {
+        self.tiered
+    }
+
+    /// The memory hierarchy a replay of `design` runs over: tiered
+    /// DRAM iff the runner opted in *and* the design's registry row
+    /// carries a tier spec; the flat default otherwise.
+    fn hierarchy_for(&self, design: Design) -> MemoryHierarchy {
+        let spec = crate::registry::tier_spec(design).filter(|_| self.tiered);
+        match spec {
+            Some(t) => MemoryHierarchy::new(HierarchyConfig::default().with_tiers(DramTiers {
+                fast_bytes: t.fast_bytes,
+                slow_latency: t.slow_latency,
+            })),
+            None => MemoryHierarchy::default(),
+        }
     }
 
     /// Where this runner writes JSON reports.
@@ -339,19 +367,23 @@ impl Runner {
         I: IntoIterator,
         I::Item: Borrow<Access>,
     {
+        let hier = self.hierarchy_for(rig.design());
         match (self.telemetry, self.scalar) {
             (true, false) => {
                 let mut t = Telemetry::with_interval(interval);
-                let stats = run_probed(rig, trace, warmup, &mut t);
+                let stats = run_probed_in(rig, trace, warmup, &mut t, hier);
                 (stats, Some(t))
             }
             (true, true) => {
                 let mut t = Telemetry::with_interval(interval);
-                let stats = run_probed_scalar(rig, trace, warmup, &mut t);
+                let stats = run_probed_scalar_in(rig, trace, warmup, &mut t, hier);
                 (stats, Some(t))
             }
-            (false, false) => (run_probed(rig, trace, warmup, &mut NoopProbe), None),
-            (false, true) => (run_probed_scalar(rig, trace, warmup, &mut NoopProbe), None),
+            (false, false) => (run_probed_in(rig, trace, warmup, &mut NoopProbe, hier), None),
+            (false, true) => (
+                run_probed_scalar_in(rig, trace, warmup, &mut NoopProbe, hier),
+                None,
+            ),
         }
     }
 

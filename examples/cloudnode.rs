@@ -2,7 +2,8 @@
 //! native processes and VMs cycling through the bench7 suite — share
 //! one physical machine, one ASID-tagged TLB, and one page-walk cache,
 //! while kill/restart churn ages the shared buddy allocator. Vanilla
-//! radix paging vs DMT, compared at *node* granularity.
+//! radix paging vs DMT vs the beyond-the-paper non-radix designs (VBI
+//! blocks, base+bound segments), compared at *node* granularity.
 //!
 //! Run with: `cargo run --release --example cloudnode`
 
@@ -39,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ],
     );
     let mut base_lat = 0.0;
-    for design in [Design::Vanilla, Design::Dmt] {
+    for design in [Design::Vanilla, Design::Dmt, Design::Vbi, Design::Seg] {
         let (stats, _) = runner.run_node(&node(design))?;
         let lat = stats.node.avg_walk_latency();
         if design == Design::Vanilla {

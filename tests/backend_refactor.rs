@@ -20,7 +20,7 @@ use dmt::sim::report::{telemetry_json, Json};
 use dmt::sim::{Design, Engine, Env, Runner, Scale, SweepConfig};
 use dmt::sim::{SimError, Setup};
 
-const ALL_DESIGNS: [Design; 8] = [
+const ALL_DESIGNS: [Design; 10] = [
     Design::Vanilla,
     Design::Shadow,
     Design::Fpt,
@@ -29,6 +29,8 @@ const ALL_DESIGNS: [Design; 8] = [
     Design::Asap,
     Design::Dmt,
     Design::PvDmt,
+    Design::Vbi,
+    Design::Seg,
 ];
 
 /// The full availability matrix over one benchmark (GUPS), both THP

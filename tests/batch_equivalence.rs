@@ -21,7 +21,7 @@ use dmt::sim::{Design, Engine, Env, Runner};
 use dmt::workloads::gen::{Access, Region};
 use proptest::prelude::*;
 
-const ALL_DESIGNS: [Design; 8] = [
+const ALL_DESIGNS: [Design; 10] = [
     Design::Vanilla,
     Design::Shadow,
     Design::Fpt,
@@ -30,6 +30,8 @@ const ALL_DESIGNS: [Design; 8] = [
     Design::Asap,
     Design::Dmt,
     Design::PvDmt,
+    Design::Vbi,
+    Design::Seg,
 ];
 
 const ENVS: [Env; 3] = [Env::Native, Env::Virt, Env::Nested];
@@ -161,6 +163,8 @@ fn block_boundary_lengths_agree() {
                 (Env::Native, Design::Vanilla),
                 (Env::Native, Design::Dmt),
                 (Env::Virt, Design::Dmt),
+                (Env::Native, Design::Vbi),
+                (Env::Virt, Design::Seg),
             ] {
                 assert_cell_equivalent(env, design, false, &setup, &trace, warmup)
                     .unwrap_or_else(|msg| panic!("len={len} warmup={warmup}: {msg}"));

@@ -3,7 +3,7 @@
 //! simulation-derived fields must be deterministic run to run (only the
 //! wall-clock timings may differ), and its JSON report must keep the
 //! `dmt-bench-v1` schema that downstream tooling (CI artifact
-//! consumers, the recorded `BENCH_9.json` trajectory) parses — and the
+//! consumers, the recorded `BENCH_10.json` trajectory) parses — and the
 //! regression gate must scrape the committed baseline correctly.
 
 use dmt_bench::harness::{
@@ -37,19 +37,25 @@ fn harness_is_deterministic_up_to_timing() {
 }
 
 /// The harness slice covers the cells the recorded trajectory tracks:
-/// GUPS for native/virt × vanilla/dmt, with native/dmt present.
+/// GUPS for native/virt × vanilla/dmt (the regression-gated cells) plus
+/// the beyond-the-paper VBI/Seg designs in both environments.
 #[test]
 fn harness_slice_covers_the_trajectory_cells() {
     let cells = harness_cells();
-    assert!(cells
-        .iter()
-        .any(|c| matches!((c.env, c.design), (Env::Native, Design::Dmt))));
-    assert!(cells
-        .iter()
-        .any(|c| matches!((c.env, c.design), (Env::Native, Design::Vanilla))));
-    assert!(cells
-        .iter()
-        .any(|c| matches!((c.env, c.design), (Env::Virt, Design::Dmt))));
+    for (env, design) in [
+        (Env::Native, Design::Dmt),
+        (Env::Native, Design::Vanilla),
+        (Env::Virt, Design::Dmt),
+        (Env::Native, Design::Vbi),
+        (Env::Virt, Design::Vbi),
+        (Env::Native, Design::Seg),
+        (Env::Virt, Design::Seg),
+    ] {
+        assert!(
+            cells.iter().any(|c| c.env == env && c.design == design),
+            "harness slice lost the {env:?}/{design:?} cell"
+        );
+    }
 }
 
 /// Schema pin for `dmt-bench-v1`: every key downstream consumers read

@@ -18,7 +18,7 @@ use dmt::sim::{Design, Env, Rig};
 use dmt::workloads::gen::{Access, Region};
 use proptest::prelude::*;
 
-const ALL_DESIGNS: [Design; 8] = [
+const ALL_DESIGNS: [Design; 10] = [
     Design::Vanilla,
     Design::Shadow,
     Design::Fpt,
@@ -27,6 +27,8 @@ const ALL_DESIGNS: [Design; 8] = [
     Design::Asap,
     Design::Dmt,
     Design::PvDmt,
+    Design::Vbi,
+    Design::Seg,
 ];
 
 /// Three fixed, table-span-aligned VMA slots: conformance inputs pick a
@@ -72,7 +74,8 @@ fn drive<R: Rig>(mut checked: Checked<R>, vas: &[VirtAddr]) -> Vec<String> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(3))]
 
-    /// Native: all six designs, 4 KiB and THP, PA/size/permission/fault
+    /// Native: every native-capable design (radix and beyond-the-paper
+    /// non-radix alike), 4 KiB and THP, PA/size/permission/fault
     /// agreement on every access plus the full structural audit.
     #[test]
     fn native_designs_conform(
@@ -94,8 +97,8 @@ proptest! {
         }
     }
 
-    /// Virtualized: all eight designs under the oracle, with the host
-    /// buddy and gTEA/vTMAP audits.
+    /// Virtualized: every virt-capable design under the oracle, with
+    /// the host buddy and gTEA/vTMAP audits.
     #[test]
     fn virt_designs_conform(
         ops in prop::collection::vec((any::<u8>(), any::<u16>(), any::<u16>()), 16..32),

@@ -7,7 +7,7 @@
 //! 1/255/256/257 block-boundary lengths.
 
 use dmt::cache::hierarchy::HitLevel;
-use dmt::mem::{PageSize, PhysAddr};
+use dmt::mem::{PageSize, PhysAddr, TransUnit, VirtAddr};
 use dmt::sim::{Outcome, OutcomeBlock, RunStats, Translation};
 use proptest::prelude::*;
 
@@ -16,12 +16,14 @@ fn arb_outcome() -> impl Strategy<Value = Outcome> {
         (any::<u64>(), 0u8..3, 0u64..5_000),
         (0u64..32, any::<bool>(), 0u8..4, 0u64..1_000),
         (0u64..8, 0u64..8, 0u64..8, 0u64..8),
+        (any::<bool>(), any::<u64>(), 1u64..(1 << 30)),
     )
         .prop_map(
             |(
                 (pa, size, cycles),
                 (refs, fallback, level, data_cycles),
                 (p0, p1, p2, p3),
+                (has_unit, unit_base, unit_len),
             )| Outcome {
                 tr: Translation {
                     pa: PhysAddr(pa),
@@ -33,6 +35,10 @@ fn arb_outcome() -> impl Strategy<Value = Outcome> {
                     cycles,
                     refs,
                     fallback,
+                    unit: has_unit.then_some(TransUnit {
+                        base: VirtAddr(unit_base & ((1 << 48) - 1)),
+                        len: unit_len,
+                    }),
                 },
                 data_level: match level {
                     0 => HitLevel::L1,
@@ -188,6 +194,10 @@ fn reset_clears_stale_rows_at_every_boundary_length() {
             cycles: 9,
             refs: 9,
             fallback: true,
+            unit: Some(TransUnit {
+                base: VirtAddr(0xFFFF_0000),
+                len: 9,
+            }),
         },
         data_level: HitLevel::Dram,
         data_cycles: 9,

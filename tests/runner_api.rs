@@ -1,8 +1,8 @@
 //! The `Runner` API surface: the two engines must be bit-identical on
-//! the same seeded cell, the deprecated `scalar_engine` flag must
-//! forward to the typed `engine(..)` selector, the builder's knobs must
-//! behave, and the disk-spill trace store must replay exactly like the
-//! in-memory one.
+//! the same seeded cell, the typed `engine(..)` selector is the only
+//! way to pick one (the deprecated `scalar_engine` shim is gone), the
+//! builder's knobs must behave, and the disk-spill trace store must
+//! replay exactly like the in-memory one.
 
 use dmt::sim::native_rig::NativeRig;
 use dmt::sim::sweep::SweepConfig;
@@ -40,21 +40,46 @@ fn batched_and_scalar_engines_are_bit_identical() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_scalar_engine_flag_forwards_to_the_engine_enum() {
-    assert_eq!(Runner::builder().scalar_engine(true).build().engine(), Engine::Scalar);
-    assert_eq!(Runner::builder().scalar_engine(false).build().engine(), Engine::Batched);
-    let via_shim = {
+fn engine_selector_drives_the_replay_path() {
+    // The deprecated `scalar_engine(bool)` shim is retired; the typed
+    // selector is the only spelling and it must actually steer replay.
+    assert_eq!(Runner::builder().engine(Engine::Scalar).build().engine(), Engine::Scalar);
+    assert_eq!(Runner::builder().engine(Engine::Batched).build().engine(), Engine::Batched);
+    let via_selector = {
         let w = cell_workload();
         let trace = w.trace(6_000, 0xD317 ^ Design::Dmt as u64);
         let mut rig = NativeRig::new(Design::Dmt, false, &w, &trace).unwrap();
         Runner::builder()
-            .scalar_engine(true)
+            .engine(Engine::Scalar)
             .build()
             .replay(&mut rig, &trace, 1_000)
             .0
     };
-    assert_eq!(via_shim, replay_with(Engine::Scalar, Design::Dmt));
+    assert_eq!(via_selector, replay_with(Engine::Scalar, Design::Dmt));
+}
+
+#[test]
+fn tiered_dram_is_off_by_default_and_flat_runs_ignore_the_knob() {
+    // Off by default: nobody pays for the tier model unless asked.
+    assert!(!Runner::builder().build().tiered_enabled());
+    assert!(Runner::builder().tiered(true).build().tiered_enabled());
+    // Designs without a registry TierSpec are bit-identical under the
+    // knob — tiering is opt-in at *both* the runner and registry level.
+    let w = cell_workload();
+    let trace = w.trace(6_000, 0xD317 ^ Design::Vanilla as u64);
+    let flat = {
+        let mut rig = NativeRig::new(Design::Vanilla, false, &w, &trace).unwrap();
+        Runner::builder().build().replay(&mut rig, &trace, 1_000).0
+    };
+    let tiered = {
+        let mut rig = NativeRig::new(Design::Vanilla, false, &w, &trace).unwrap();
+        Runner::builder()
+            .tiered(true)
+            .build()
+            .replay(&mut rig, &trace, 1_000)
+            .0
+    };
+    assert_eq!(flat, tiered, "no TierSpec row => tiered knob is a no-op");
 }
 
 #[test]

@@ -205,6 +205,31 @@ fn sharded_replay_is_bit_identical_from_file() {
 }
 
 #[test]
+fn beyond_paper_designs_shard_bit_identically() {
+    // The non-radix backends carry their own translation state (VBI's
+    // block table walks free of the radix caches; Seg adds a private
+    // LRU segment cache). Epoch-barrier compliance means
+    // `flush_caches` must leave a shard worker in exactly the state the
+    // serial reference reaches at the same barrier — a segment cache
+    // that survives a barrier shows up here as a K>1 divergence.
+    let cell = gups_cell(4_000, 700);
+    for env in [Env::Native, Env::Virt] {
+        for design in [Design::Vbi, Design::Seg] {
+            assert_all_k_match(
+                Runner::builder().telemetry(true),
+                env,
+                design,
+                false,
+                &cell,
+                ShardSource::Memory(&cell.trace),
+                400,
+                &format!("{env:?}/{design:?}"),
+            );
+        }
+    }
+}
+
+#[test]
 fn sharded_replay_composes_with_the_oracle() {
     // Every shard worker's rig gets wrapped by the differential oracle
     // (reference cross-checks on every translate); results must still
@@ -275,6 +300,8 @@ fn full_matrix_is_bit_identical_for_every_k() {
             Design::Asap,
             Design::Dmt,
             Design::PvDmt,
+            Design::Vbi,
+            Design::Seg,
         ] {
             if !design.available_in(env) {
                 continue;

@@ -1,0 +1,200 @@
+//! Variable-size translation-unit TLB properties (DESIGN.md §15): the
+//! unit array generalizes TLB reach from page-granular to arbitrary
+//! `TransUnit { base, len }` spans, and this battery pins the three
+//! contracts fixed-page designs never exercised:
+//!
+//! 1. **Newest-mapping-wins** — a resident unit reach must never shadow
+//!    a shorter mapping filled after it (overlap/containment property).
+//! 2. **ASID + shootdown coherence** — `flush_asid` and `invalidate`
+//!    retire exactly the right entries over mixed page/unit residency.
+//! 3. **`probe_block` equivalence at the block edge** — the vectorized
+//!    scan agrees with element-wise `probe_any` for probe slices that
+//!    straddle the engine's 256-access block boundary.
+
+use dmt::cache::tlb::{Tlb, TlbConfig};
+use dmt::mem::{PageSize, TransUnit, VirtAddr};
+use proptest::prelude::*;
+
+/// One TLB operation: unit fill, page fill, huge fill, or shootdown.
+/// Everything lives in a handful of 16 MiB windows so random fills
+/// actually collide; unit lengths go up to 32 pages, so reaches span
+/// and straddle each other freely.
+#[derive(Debug, Clone)]
+enum Op {
+    FillUnit(TransUnit),
+    FillPage(VirtAddr),
+    FillHuge(VirtAddr),
+    Invalidate(VirtAddr),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    // (kind, window, page, length) → one of the four op shapes; the
+    // vendored proptest has no `prop_oneof`, so the tag is explicit.
+    (0u8..4, 0u64..4, 0u64..3800, 1u64..32).prop_map(|(kind, w, p, pages)| match kind {
+        0 => Op::FillUnit(TransUnit {
+            base: VirtAddr((w << 24) + p * 4096),
+            len: pages * 4096,
+        }),
+        1 => Op::FillPage(VirtAddr((w << 24) + p * 4096)),
+        2 => Op::FillHuge(VirtAddr((w << 24) + ((p % 8) << 21))),
+        _ => Op::Invalidate(VirtAddr((w << 24) + p * 4096)),
+    })
+}
+
+fn apply(t: &mut Tlb, op: &Op) {
+    match *op {
+        Op::FillUnit(u) => t.fill_unit(u),
+        Op::FillPage(va) => t.fill(va, PageSize::Size4K),
+        Op::FillHuge(va) => t.fill(va, PageSize::Size2M),
+        Op::Invalidate(va) => t.invalidate(va, PageSize::Size4K),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// After any fill history, same-ASID unit reaches are pairwise
+    /// disjoint (the newest fill evicted every overlap), and a page
+    /// fill or shootdown leaves no same-ASID unit covering that page —
+    /// a stale wide reach never shadows the newer shorter mapping.
+    /// Page entries *inside* a later unit reach legitimately coexist
+    /// (they describe the same mapping when the design is coherent), so
+    /// only the unit side of the overlap is constrained.
+    #[test]
+    fn unit_reaches_never_shadow_newer_mappings(
+        ops in prop::collection::vec(arb_op(), 1..64),
+    ) {
+        let mut t = Tlb::new(TlbConfig::tiny());
+        for op in &ops {
+            apply(&mut t, op);
+            // Pairwise disjointness holds after *every* step.
+            let units = t.unit_entries_tagged();
+            for (i, &(asid_a, a)) in units.iter().enumerate() {
+                for &(asid_b, b) in &units[i + 1..] {
+                    prop_assert!(
+                        asid_a != asid_b || !a.overlaps(b),
+                        "unit reaches intersect: {a:?} vs {b:?}"
+                    );
+                }
+            }
+            // The op that just ran is the newest mapping claim on its
+            // span; no unit may still cover it.
+            let newest = match *op {
+                Op::FillUnit(_) => None,
+                Op::FillPage(va) | Op::Invalidate(va) => Some((va, 4096u64)),
+                Op::FillHuge(va) => Some((va, 2 << 20)),
+            };
+            if let Some((va, len)) = newest {
+                prop_assert!(
+                    units.iter().all(|&(_, u)| !u.overlaps_range(va, len)),
+                    "a unit reach shadows the newer mapping at {va:?}"
+                );
+            }
+        }
+    }
+
+    /// Shootdown coherence over mixed-reach residency: invalidating a
+    /// page kills the page-granular entry *and* every unit reach that
+    /// covered any byte of it (a unit entry must never outlive part of
+    /// its mapping), while the other address space is untouched.
+    #[test]
+    fn invalidate_clears_every_claim_on_the_page(
+        ops in prop::collection::vec(arb_op(), 1..48),
+        shoot in (0u64..4, 0u64..3800),
+    ) {
+        let mut t = Tlb::new(TlbConfig::tiny());
+        for op in &ops {
+            apply(&mut t, op);
+        }
+        // Park a decoy unit over the same span in another address
+        // space: the shootdown below must not touch it.
+        let va = VirtAddr((shoot.0 << 24) + shoot.1 * 4096);
+        t.set_asid(3);
+        t.fill_unit(TransUnit { base: va, len: 4096 });
+        t.set_asid(0);
+        t.invalidate(va, PageSize::Size4K);
+        prop_assert!(
+            t.unit_entries_tagged()
+                .iter()
+                .all(|&(asid, u)| asid != 0 || !u.contains(va)),
+            "a unit reach survived its own shootdown"
+        );
+        prop_assert!(
+            !t.entries_tagged().contains(&(0, va, PageSize::Size4K)),
+            "the 4 KiB entry survived its own shootdown"
+        );
+        prop_assert!(
+            t.unit_entries_tagged().contains(&(3, TransUnit { base: va, len: 4096 })),
+            "shootdown leaked into another address space"
+        );
+    }
+
+    /// `flush_asid` over mixed page/unit residency retires every tagged
+    /// entry — at least one invalidation per distinct resident
+    /// translation (dual L1+STLB residency can add more) — and leaves
+    /// the other address space bit-identical.
+    #[test]
+    fn flush_asid_is_exact_over_mixed_reaches(
+        ops_a in prop::collection::vec(arb_op(), 1..32),
+        ops_b in prop::collection::vec(arb_op(), 1..32),
+    ) {
+        let mut t = Tlb::new(TlbConfig::tiny());
+        for op in &ops_a {
+            apply(&mut t, op);
+        }
+        t.set_asid(9);
+        for op in &ops_b {
+            apply(&mut t, op);
+        }
+        let tagged_pages =
+            t.entries_tagged().iter().filter(|(a, _, _)| *a == 9).count() as u64;
+        let tagged_units =
+            t.unit_entries_tagged().iter().filter(|(a, _)| *a == 9).count() as u64;
+        let survivor_units: Vec<_> = t
+            .unit_entries_tagged()
+            .into_iter()
+            .filter(|(a, _)| *a != 9)
+            .collect();
+        let survivor_pages: Vec<_> = t
+            .entries_tagged()
+            .into_iter()
+            .filter(|(a, _, _)| *a != 9)
+            .collect();
+        prop_assert!(t.flush_asid(9) >= tagged_pages + tagged_units);
+        prop_assert!(t.entries_tagged().iter().all(|(a, _, _)| *a != 9));
+        prop_assert!(t.unit_entries_tagged().iter().all(|(a, _)| *a != 9));
+        prop_assert_eq!(survivor_units, t.unit_entries_tagged(),
+            "flush_asid(9) disturbed the other address space's units");
+        prop_assert_eq!(survivor_pages, t.entries_tagged(),
+            "flush_asid(9) disturbed the other address space's pages");
+    }
+
+    /// The vectorized `probe_block` scan equals element-wise
+    /// `probe_any` for every element of slices sized 255/256/257 — the
+    /// engine's block edge — over arbitrary mixed-reach residency, and
+    /// counts nothing.
+    #[test]
+    fn probe_block_agrees_at_the_block_edge(
+        ops in prop::collection::vec(arb_op(), 1..48),
+        probes in prop::collection::vec((0u64..4, 0u64..3800, 0u64..4096), 257..300),
+    ) {
+        let mut t = Tlb::new(TlbConfig::tiny());
+        for op in &ops {
+            apply(&mut t, op);
+        }
+        let vas: Vec<VirtAddr> = probes
+            .iter()
+            .map(|&(w, p, off)| VirtAddr((w << 24) + p * 4096 + off))
+            .collect();
+        let stats = t.stats();
+        for len in [255usize, 256, 257] {
+            let slice = &vas[..len];
+            let mut hits = vec![false; len];
+            t.probe_block(slice, &mut hits);
+            for (i, &va) in slice.iter().enumerate() {
+                prop_assert_eq!(hits[i], t.probe_any(va), "element {} of {}", i, len);
+            }
+        }
+        prop_assert_eq!(t.stats(), stats, "probing must not count");
+    }
+}
